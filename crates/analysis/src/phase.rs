@@ -1,0 +1,215 @@
+//! Phase detection over access streams.
+//!
+//! The paper's central argument for *selective* assist control is that
+//! "many programs have a phase-by-phase nature": hardware state trained in
+//! one phase misleads the next. This module detects those phases from the
+//! address stream by comparing working-set signatures of consecutive
+//! windows.
+
+use selcache_ir::Addr;
+
+/// Configuration of the phase detector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseConfig {
+    /// Accesses per comparison window.
+    pub window: usize,
+    /// Block granularity of the working-set signature.
+    pub block_size: u64,
+    /// Signature bits (power of two).
+    pub signature_bits: usize,
+    /// Jaccard similarity below which a window starts a new phase.
+    pub threshold: f64,
+}
+
+impl Default for PhaseConfig {
+    fn default() -> Self {
+        PhaseConfig { window: 4096, block_size: 32, signature_bits: 8192, threshold: 0.4 }
+    }
+}
+
+/// A detected phase: a run of windows with similar working sets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Phase {
+    /// First access index of the phase.
+    pub start: usize,
+    /// One past the last access index.
+    pub end: usize,
+}
+
+impl Phase {
+    /// Accesses in the phase.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True if the phase is empty.
+    pub fn is_empty(&self) -> bool {
+        self.end == self.start
+    }
+}
+
+/// Streaming working-set phase detector.
+///
+/// ```
+/// use selcache_analysis::{PhaseConfig, PhaseDetector};
+/// use selcache_ir::Addr;
+///
+/// let cfg = PhaseConfig { window: 64, ..PhaseConfig::default() };
+/// let mut d = PhaseDetector::new(cfg);
+/// for i in 0..256u64 { d.record(Addr(i * 32)); }          // streaming phase
+/// for _ in 0..256u64 { d.record(Addr(0x10_0000)); }       // hot-spot phase
+/// let phases = d.finish();
+/// assert!(phases.len() >= 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PhaseDetector {
+    cfg: PhaseConfig,
+    current: Vec<u64>,
+    previous: Option<Vec<u64>>,
+    in_window: usize,
+    accesses: usize,
+    phase_start: usize,
+    phases: Vec<Phase>,
+}
+
+fn jaccard(a: &[u64], b: &[u64]) -> f64 {
+    let mut inter = 0u32;
+    let mut union = 0u32;
+    for (&x, &y) in a.iter().zip(b) {
+        inter += (x & y).count_ones();
+        union += (x | y).count_ones();
+    }
+    if union == 0 {
+        1.0
+    } else {
+        f64::from(inter) / f64::from(union)
+    }
+}
+
+impl PhaseDetector {
+    /// Creates a detector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is degenerate (zero window, non-power-of-
+    /// two signature).
+    pub fn new(cfg: PhaseConfig) -> Self {
+        assert!(cfg.window > 0, "window must be positive");
+        assert!(cfg.signature_bits.is_power_of_two(), "signature bits must be a power of two");
+        PhaseDetector {
+            current: vec![0; cfg.signature_bits / 64],
+            previous: None,
+            in_window: 0,
+            accesses: 0,
+            phase_start: 0,
+            phases: Vec::new(),
+            cfg,
+        }
+    }
+
+    /// Records one data access.
+    pub fn record(&mut self, addr: Addr) {
+        let block = addr.block(self.cfg.block_size);
+        // Multiplicative hash into the signature.
+        let h = (block.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize
+            & (self.cfg.signature_bits - 1);
+        self.current[h / 64] |= 1 << (h % 64);
+        self.in_window += 1;
+        self.accesses += 1;
+        if self.in_window == self.cfg.window {
+            self.close_window();
+        }
+    }
+
+    fn close_window(&mut self) {
+        let sig = std::mem::replace(&mut self.current, vec![0; self.cfg.signature_bits / 64]);
+        if let Some(prev) = &self.previous {
+            if jaccard(prev, &sig) < self.cfg.threshold {
+                // New phase begins at the start of the window just closed.
+                let start = self.accesses - self.cfg.window;
+                self.phases.push(Phase { start: self.phase_start, end: start });
+                self.phase_start = start;
+            }
+        }
+        self.previous = Some(sig);
+        self.in_window = 0;
+    }
+
+    /// Finishes the stream and returns the detected phases (at least one,
+    /// covering the whole stream, when any access was recorded).
+    pub fn finish(mut self) -> Vec<Phase> {
+        if self.accesses == 0 {
+            return Vec::new();
+        }
+        self.phases.push(Phase { start: self.phase_start, end: self.accesses });
+        self.phases.retain(|p| !p.is_empty());
+        self.phases
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> PhaseConfig {
+        PhaseConfig { window: 128, block_size: 32, signature_bits: 512, threshold: 0.4 }
+    }
+
+    #[test]
+    fn uniform_stream_is_one_phase() {
+        let mut d = PhaseDetector::new(cfg());
+        for i in 0..2048u64 {
+            d.record(Addr((i % 64) * 32));
+        }
+        let phases = d.finish();
+        assert_eq!(phases.len(), 1);
+        assert_eq!(phases[0], Phase { start: 0, end: 2048 });
+    }
+
+    #[test]
+    fn two_disjoint_working_sets_are_two_phases() {
+        let mut d = PhaseDetector::new(cfg());
+        for i in 0..1024u64 {
+            d.record(Addr((i % 64) * 32));
+        }
+        for i in 0..1024u64 {
+            d.record(Addr(0x100_0000 + (i % 64) * 32));
+        }
+        let phases = d.finish();
+        assert_eq!(phases.len(), 2, "phases: {phases:?}");
+        assert!(phases[0].end >= 1024 - 128 && phases[0].end <= 1024 + 128);
+        // Phases tile the stream.
+        assert_eq!(phases[0].start, 0);
+        assert_eq!(phases.last().unwrap().end, 2048);
+        assert_eq!(phases[0].end, phases[1].start);
+    }
+
+    #[test]
+    fn alternating_phases_detected() {
+        let mut d = PhaseDetector::new(cfg());
+        for round in 0..4u64 {
+            let base = if round % 2 == 0 { 0u64 } else { 0x100_0000 };
+            for i in 0..512u64 {
+                d.record(Addr(base + (i % 64) * 32));
+            }
+        }
+        let phases = d.finish();
+        assert!(phases.len() >= 4, "expected >= 4 phases, got {phases:?}");
+    }
+
+    #[test]
+    fn empty_stream_has_no_phases() {
+        let d = PhaseDetector::new(cfg());
+        assert!(d.finish().is_empty());
+    }
+
+    #[test]
+    fn short_stream_single_phase() {
+        let mut d = PhaseDetector::new(cfg());
+        for i in 0..50u64 {
+            d.record(Addr(i * 32));
+        }
+        let phases = d.finish();
+        assert_eq!(phases, vec![Phase { start: 0, end: 50 }]);
+    }
+}

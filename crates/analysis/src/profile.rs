@@ -1,0 +1,214 @@
+//! Access profiling: per-array traffic, read/write mix, and stride
+//! distribution of a trace — the quantities the paper's compiler reasons
+//! about statically, measured dynamically.
+
+use selcache_ir::{Addr, ArrayId, OpKind, Program, TraceOp};
+use std::fmt;
+
+/// Per-array dynamic access statistics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ArrayProfile {
+    /// Loads to the array.
+    pub reads: u64,
+    /// Stores to the array.
+    pub writes: u64,
+    /// Accesses at unit-or-smaller stride relative to the previous access
+    /// to the same array (|Δ| ≤ 8 bytes).
+    pub sequential: u64,
+    /// Accesses that jumped more than 256 bytes.
+    pub jumps: u64,
+    last_addr: Option<u64>,
+}
+
+impl ArrayProfile {
+    /// Total accesses.
+    pub fn total(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Fraction of accesses that were sequential.
+    pub fn sequential_share(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.sequential as f64 / self.total() as f64
+        }
+    }
+}
+
+/// A whole-trace access profile for one program.
+#[derive(Debug, Clone)]
+pub struct TraceProfile {
+    names: Vec<String>,
+    ranges: Vec<(u64, u64)>,
+    per_array: Vec<ArrayProfile>,
+    /// Accesses outside any array (scalar segment).
+    pub scalar_accesses: u64,
+    /// Total memory accesses.
+    pub total: u64,
+}
+
+impl TraceProfile {
+    /// Creates an empty profile for a program's address map.
+    pub fn new(program: &Program) -> Self {
+        let map = program.address_map();
+        let ranges: Vec<(u64, u64)> = program
+            .arrays
+            .iter()
+            .enumerate()
+            .map(|(k, a)| {
+                let base = map.array_base(ArrayId(k as u32)).0;
+                (base, base + a.size_bytes())
+            })
+            .collect();
+        TraceProfile {
+            names: program.arrays.iter().map(|a| a.name.clone()).collect(),
+            per_array: vec![ArrayProfile::default(); program.arrays.len()],
+            ranges,
+            scalar_accesses: 0,
+            total: 0,
+        }
+    }
+
+    /// Profiles an entire trace.
+    pub fn profile(program: &Program, trace: impl IntoIterator<Item = TraceOp>) -> Self {
+        let mut p = Self::new(program);
+        for op in trace {
+            p.record(&op);
+        }
+        p
+    }
+
+    fn array_of(&self, addr: Addr) -> Option<usize> {
+        // Arrays are laid out in ascending order: binary search by base.
+        let i = self.ranges.partition_point(|&(base, _)| base <= addr.0);
+        if i == 0 {
+            return None;
+        }
+        let (base, end) = self.ranges[i - 1];
+        (addr.0 >= base && addr.0 < end).then_some(i - 1)
+    }
+
+    /// Records one op (non-memory ops are ignored).
+    pub fn record(&mut self, op: &TraceOp) {
+        let (addr, write) = match op.kind {
+            OpKind::Load(a) => (a, false),
+            OpKind::Store(a) => (a, true),
+            _ => return,
+        };
+        self.total += 1;
+        let Some(k) = self.array_of(addr) else {
+            self.scalar_accesses += 1;
+            return;
+        };
+        let p = &mut self.per_array[k];
+        if write {
+            p.writes += 1;
+        } else {
+            p.reads += 1;
+        }
+        if let Some(last) = p.last_addr {
+            let delta = addr.0.abs_diff(last);
+            if delta <= 8 {
+                p.sequential += 1;
+            } else if delta > 256 {
+                p.jumps += 1;
+            }
+        }
+        p.last_addr = Some(addr.0);
+    }
+
+    /// Profiles per array, with names.
+    pub fn arrays(&self) -> impl Iterator<Item = (&str, &ArrayProfile)> {
+        self.names.iter().map(|n| n.as_str()).zip(self.per_array.iter())
+    }
+
+    /// The profile of the array with the given name, if any.
+    pub fn by_name(&self, name: &str) -> Option<&ArrayProfile> {
+        self.names.iter().position(|n| n == name).map(|k| &self.per_array[k])
+    }
+}
+
+impl fmt::Display for TraceProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<12} {:>10} {:>10} {:>8} {:>8}",
+            "array", "reads", "writes", "seq%", "jump%"
+        )?;
+        for (name, p) in self.arrays() {
+            if p.total() == 0 {
+                continue;
+            }
+            writeln!(
+                f,
+                "{:<12} {:>10} {:>10} {:>7.1}% {:>7.1}%",
+                name,
+                p.reads,
+                p.writes,
+                p.sequential_share() * 100.0,
+                p.jumps as f64 / p.total() as f64 * 100.0
+            )?;
+        }
+        writeln!(f, "scalar segment: {} accesses", self.scalar_accesses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use selcache_ir::{Interp, ProgramBuilder, Subscript};
+
+    fn sample() -> Program {
+        let mut b = ProgramBuilder::new("t");
+        let a = b.array("A", &[64], 8);
+        let c = b.array("C", &[64, 8], 8);
+        let s = b.scalar();
+        b.loop_(64, |b, i| {
+            b.stmt(|st| {
+                st.read(a, vec![Subscript::var(i)])
+                    .read(c, vec![Subscript::Affine(selcache_ir::AffineExpr::linear(i, 1, 0)), Subscript::constant(0)])
+                    .read_scalar(s)
+                    .fp(1)
+                    .write(a, vec![Subscript::var(i)]);
+            });
+        });
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn counts_split_per_array() {
+        let p = sample();
+        let prof = TraceProfile::profile(&p, Interp::new(&p));
+        let a = prof.by_name("A").unwrap();
+        assert_eq!(a.reads, 64);
+        assert_eq!(a.writes, 64);
+        let c = prof.by_name("C").unwrap();
+        assert_eq!(c.reads, 64);
+        assert_eq!(c.writes, 0);
+        assert_eq!(prof.scalar_accesses, 64);
+        assert_eq!(prof.total, 64 * 4);
+    }
+
+    #[test]
+    fn sequentiality_detected() {
+        let p = sample();
+        let prof = TraceProfile::profile(&p, Interp::new(&p));
+        // A alternates read/write at the same element then advances 8 bytes:
+        // every access is within 8 bytes of the previous.
+        assert!(prof.by_name("A").unwrap().sequential_share() > 0.9);
+        // C strides 64 bytes per iteration: mostly jumps of 64 <= 256.
+        let c = prof.by_name("C").unwrap();
+        assert_eq!(c.jumps, 0);
+        assert!(c.sequential_share() < 0.1);
+    }
+
+    #[test]
+    fn display_renders() {
+        let p = sample();
+        let prof = TraceProfile::profile(&p, Interp::new(&p));
+        let text = prof.to_string();
+        assert!(text.contains("A"));
+        assert!(text.contains("scalar segment"));
+    }
+}

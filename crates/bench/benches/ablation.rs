@@ -1,0 +1,27 @@
+//! Wall-clock cost of the design alternatives (the simulated-cycle
+//! ablations are printed by `cargo run -p selcache-bench --bin ablations`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use selcache_compiler::{optimize, selective, OptConfig};
+use selcache_workloads::{Benchmark, Scale};
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation");
+    g.sample_size(20);
+    let program = Benchmark::Swim.build(Scale::Tiny);
+
+    g.bench_function("optimize_full", |b| {
+        b.iter(|| optimize(&program, &OptConfig::default()));
+    });
+    g.bench_function("optimize_no_tiling", |b| {
+        let cfg = OptConfig { tile: false, ..OptConfig::default() };
+        b.iter(|| optimize(&program, &cfg));
+    });
+    g.bench_function("selective_prepare", |b| {
+        b.iter(|| selective(&program, &OptConfig::default()));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Throughput of the memory-hierarchy components.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use selcache_ir::Addr;
+use selcache_mem::{
+    AssistKind, Cache, CacheConfig, HierarchyConfig, LruSet, Mat, MatConfig, MemoryHierarchy,
+    VictimCache,
+};
+
+fn bench_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache");
+    g.throughput(Throughput::Elements(10_000));
+
+    g.bench_function("l1_sweep_access", |b| {
+        let mut cache = Cache::new(CacheConfig::kib(32, 4, 32));
+        b.iter(|| {
+            for i in 0..10_000u64 {
+                let blk = (i * 7) % 4096;
+                if !cache.access(black_box(blk), false).is_hit() {
+                    cache.fill(blk, false);
+                }
+            }
+        });
+    });
+
+    g.bench_function("l1_classified_access", |b| {
+        let mut cache = Cache::with_classification(CacheConfig::kib(32, 4, 32));
+        b.iter(|| {
+            for i in 0..10_000u64 {
+                let blk = (i * 7) % 4096;
+                if !cache.access(black_box(blk), false).is_hit() {
+                    cache.fill(blk, false);
+                }
+            }
+        });
+    });
+
+    g.bench_function("lru_set_churn", |b| {
+        let mut set = LruSet::new(64);
+        b.iter(|| {
+            for i in 0..10_000u64 {
+                set.insert(black_box(i % 128), false);
+            }
+        });
+    });
+
+    g.bench_function("victim_cache_churn", |b| {
+        let mut v = VictimCache::new(64);
+        b.iter(|| {
+            for i in 0..10_000u64 {
+                if v.probe_remove(black_box(i % 96)).is_none() {
+                    v.insert(i % 96, false);
+                }
+            }
+        });
+    });
+
+    g.bench_function("mat_record", |b| {
+        let mut m = Mat::new(MatConfig::default());
+        b.iter(|| {
+            for i in 0..10_000u64 {
+                m.record(Addr(black_box(i * 40)));
+            }
+        });
+    });
+
+    g.bench_function("hierarchy_data_access", |b| {
+        let mut h = MemoryHierarchy::new(HierarchyConfig::paper_base(AssistKind::Bypass));
+        let mut now = 0;
+        b.iter(|| {
+            for i in 0..10_000u64 {
+                now += 2;
+                h.data_access(Addr(0x1000_0000 + (i * 72) % (1 << 20)), false, black_box(now));
+            }
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_cache);
+criterion_main!(benches);

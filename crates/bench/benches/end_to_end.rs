@@ -1,0 +1,21 @@
+//! End-to-end experiment throughput: build + compile + simulate one
+//! benchmark under each version.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use selcache_core::{AssistKind, Experiment, MachineConfig, Version};
+use selcache_workloads::{Benchmark, Scale};
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut g = c.benchmark_group("end_to_end");
+    g.sample_size(10);
+    let exp = Experiment::new(MachineConfig::base(), AssistKind::Bypass);
+    for version in [Version::Base, Version::PureSoftware, Version::Selective] {
+        g.bench_function(format!("q6_{version}").replace(' ', "_").to_lowercase(), |b| {
+            b.iter(|| exp.run(Benchmark::TpcDQ6, Scale::Tiny, version));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! IR interpreter (trace generation) throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use selcache_ir::{trace_len, Interp};
+use selcache_workloads::{Benchmark, Scale};
+
+fn bench_trace(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trace");
+    g.sample_size(20);
+    for bm in [Benchmark::Vpenta, Benchmark::Li, Benchmark::TpcDQ3] {
+        let program = bm.build(Scale::Tiny);
+        let ops = trace_len(&program);
+        g.throughput(Throughput::Elements(ops));
+        g.bench_function(bm.name(), |b| {
+            b.iter(|| Interp::new(&program).count());
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_trace);
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! Extension experiments beyond the paper's evaluation:
+//!
+//! 1. A third hardware assist — Jouppi stream buffers (the "hardware
+//!    prefetching" entry of the paper's related-work list) — run through
+//!    the same four-version protocol as bypassing and victim caches.
+//! 2. The extension compiler passes (loop fusion, loop distribution,
+//!    unroll-and-jam) measured on top of the default pipeline.
+//!
+//! Usage: `cargo run --release -p selcache-bench --bin extensions
+//! [-- --scale tiny|small|medium]`
+
+use selcache_compiler::{insert_markers_for, optimize, AssistPolicy, OptConfig};
+use selcache_core::{
+    AssistKind, Benchmark, Experiment, MachineConfig, Scale, SuiteResult, Version,
+};
+
+fn main() {
+    let cli = selcache_bench::cli();
+    assists_table(cli.scale);
+    assist_aware_selective(cli.scale);
+    extension_passes(cli.scale);
+}
+
+/// Assist-aware region preference: the selective scheme with the marker
+/// polarity chosen per mechanism. For the stream-buffer assist the paper's
+/// irregular-regions rule forfeits most of the benefit; enabling it on the
+/// *regular* regions recovers the combined version's gains while still
+/// switching it off where it would pollute.
+fn assist_aware_selective(scale: Scale) {
+    println!("== Extension: assist-aware selective (stream buffers) ==");
+    println!("{:<24} {:>10}", "Policy", "Average");
+    let exp = Experiment::new(MachineConfig::base(), AssistKind::Stream);
+    for (name, policy) in [
+        ("paper rule (irregular)", AssistPolicy::IrregularRegions),
+        ("inverted (regular)", AssistPolicy::RegularRegions),
+        ("always on (combined)", AssistPolicy::Always),
+    ] {
+        let mut total = 0.0;
+        for bm in Benchmark::ALL {
+            let p = bm.build(scale);
+            let base = exp.run_program(&p, Version::Base);
+            let optimized = optimize(&p, exp.opt());
+            let marked = insert_markers_for(&optimized, exp.opt().threshold, policy);
+            let r = exp.run_program(&marked, Version::Selective);
+            total += r.improvement_over(&base);
+        }
+        println!("{:<24} {:>9.2}%", name, total / Benchmark::ALL.len() as f64);
+    }
+    println!();
+}
+
+fn assists_table(scale: Scale) {
+    println!("== Extension: all three hardware assists, base machine ==");
+    println!(
+        "{:<10} {:>9} {:>9} {:>9} {:>9}",
+        "Assist", "PureHW", "PureSW", "Combined", "Selective"
+    );
+    for assist in [AssistKind::Bypass, AssistKind::Victim, AssistKind::Stream] {
+        eprintln!("running {assist:?} suite at scale {scale}…");
+        let s = SuiteResult::run(MachineConfig::base(), assist, scale);
+        println!(
+            "{:<10} {:>8.2}% {:>8.2}% {:>8.2}% {:>8.2}%",
+            format!("{assist:?}"),
+            s.average(Version::PureHardware),
+            s.average(Version::PureSoftware),
+            s.average(Version::Combined),
+            s.average(Version::Selective)
+        );
+    }
+    println!();
+}
+
+fn extension_passes(scale: Scale) {
+    println!("== Extension: compiler passes beyond the paper's list ==");
+    println!(
+        "{:<12} {:>9} {:>9} {:>9} {:>12}",
+        "Benchmark", "default", "+fusion", "+unroll", "+distribute"
+    );
+    let exp = Experiment::new(MachineConfig::base(), AssistKind::None);
+    for bm in [Benchmark::Vpenta, Benchmark::Swim, Benchmark::TpcDQ1, Benchmark::Chaos] {
+        let p = bm.build(scale);
+        let base = exp.run_program(&p, Version::Base);
+        let mut cells = Vec::new();
+        for (fusion, unroll_jam, distribute) in [
+            (false, false, false),
+            (true, false, false),
+            (false, true, false),
+            (false, false, true),
+        ] {
+            let cfg = OptConfig { fusion, unroll_jam, distribute, ..OptConfig::default() };
+            let o = optimize(&p, &cfg);
+            let r = exp.run_program(&o, Version::PureSoftware);
+            cells.push(r.improvement_over(&base));
+        }
+        println!(
+            "{:<12} {:>8.2}% {:>8.2}% {:>8.2}% {:>11.2}%",
+            bm.name(),
+            cells[0],
+            cells[1],
+            cells[2],
+            cells[3]
+        );
+    }
+}

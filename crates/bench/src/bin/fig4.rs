@@ -1,0 +1,5 @@
+//! Regenerates Figure 4 of the paper: percent improvement in execution
+//! cycles for the four simulated versions under the `Base` machine.
+fn main() {
+    selcache_bench::run_figure(selcache_core::ConfigVariant::Base);
+}

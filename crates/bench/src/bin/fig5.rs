@@ -1,0 +1,5 @@
+//! Regenerates Figure 5 of the paper: percent improvement in execution
+//! cycles for the four simulated versions under the `HigherMemLatency` machine.
+fn main() {
+    selcache_bench::run_figure(selcache_core::ConfigVariant::HigherMemLatency);
+}

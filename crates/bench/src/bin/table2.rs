@@ -1,0 +1,7 @@
+//! Regenerates Table 2 of the paper: benchmark characteristics (input,
+//! instructions executed, L1/L2 miss rates) under the base configuration.
+fn main() {
+    let cli = selcache_bench::cli();
+    eprintln!("running base-configuration characterization at scale {}…", cli.scale);
+    print!("{}", selcache_core::table2(cli.scale));
+}

@@ -1,0 +1,15 @@
+//! Regenerates Table 3 of the paper: average improvements of every version
+//! (both assists) across all six machine configurations.
+use selcache_core::{format_table3, table3_row, Benchmark, ConfigVariant};
+
+fn main() {
+    let cli = selcache_bench::cli();
+    let rows: Vec<_> = ConfigVariant::ALL
+        .iter()
+        .map(|v| {
+            eprintln!("running {} (both assists) at scale {}…", v, cli.scale);
+            table3_row(v.machine(), cli.scale, &Benchmark::ALL)
+        })
+        .collect();
+    print!("{}", format_table3(&rows));
+}

@@ -1,0 +1,100 @@
+//! # selcache-bench
+//!
+//! The benchmark harness that regenerates every table and figure of the
+//! paper's evaluation section (Section 5). One binary per artifact:
+//!
+//! | Binary   | Artifact | Contents |
+//! |----------|----------|----------|
+//! | `table2` | Table 2  | benchmark characteristics under the base machine |
+//! | `fig4`   | Figure 4 | % improvement, base configuration |
+//! | `fig5`   | Figure 5 | % improvement, 200-cycle memory latency |
+//! | `fig6`   | Figure 6 | % improvement, 1 MiB L2 |
+//! | `fig7`   | Figure 7 | % improvement, 64 KiB L1 |
+//! | `fig8`   | Figure 8 | % improvement, 8-way L2 |
+//! | `fig9`   | Figure 9 | % improvement, 8-way L1 |
+//! | `table3` | Table 3  | average improvements across all six machines and both assists |
+//!
+//! Every binary accepts `--scale tiny|small|medium` (default `small`) and
+//! `--victim` to switch the figures to the victim-cache assist. Criterion
+//! benches (`cargo bench`) measure simulator component throughput and run
+//! the ablation studies listed in `DESIGN.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use selcache_core::{AssistKind, ConfigVariant, Scale, SuiteResult};
+
+/// Parsed command line shared by the figure/table binaries.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Cli {
+    /// Workload scale.
+    pub scale: Scale,
+    /// Assist under study for the figures.
+    pub assist: AssistKind,
+    /// Optional CSV output path for the figure data.
+    pub csv: Option<std::path::PathBuf>,
+}
+
+/// Parses `--scale <s>`, `--victim`/`--stream`, and `--csv <path>` from
+/// `std::env::args`.
+///
+/// # Panics
+///
+/// Panics with a usage message on an unknown argument.
+pub fn cli() -> Cli {
+    let mut out = Cli { scale: Scale::Small, assist: AssistKind::Bypass, csv: None };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--scale" => {
+                let v = args.next().unwrap_or_default();
+                out.scale = Scale::parse(&v)
+                    .unwrap_or_else(|| panic!("unknown scale {v:?}; use tiny|small|medium"));
+            }
+            "--victim" => out.assist = AssistKind::Victim,
+            "--bypass" => out.assist = AssistKind::Bypass,
+            "--stream" => out.assist = AssistKind::Stream,
+            "--csv" => {
+                let v = args.next().unwrap_or_else(|| panic!("--csv needs a path"));
+                out.csv = Some(v.into());
+            }
+            other => panic!(
+                "unknown argument {other:?}; usage: [--scale tiny|small|medium] [--victim|--stream] [--csv <path>]"
+            ),
+        }
+    }
+    out
+}
+
+/// Runs and prints one figure (4–9) for the chosen variant, optionally
+/// writing the per-benchmark data as CSV.
+pub fn run_figure(variant: ConfigVariant) {
+    let cli = cli();
+    eprintln!(
+        "running {} suite at scale {} ({:?} assist)…",
+        variant,
+        cli.scale,
+        cli.assist
+    );
+    let suite = SuiteResult::run(variant.machine(), cli.assist, cli.scale);
+    print!("{}", suite.format_figure(variant.figure()));
+    if let Some(path) = &cli.csv {
+        if let Err(e) = std::fs::write(path, suite.to_csv()) {
+            eprintln!("failed to write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        eprintln!("wrote {}", path.display());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_cli() {
+        let c = Cli { scale: Scale::Small, assist: AssistKind::Bypass, csv: None };
+        assert_eq!(c.scale, Scale::Small);
+        assert!(c.csv.is_none());
+    }
+}

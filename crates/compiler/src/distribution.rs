@@ -1,0 +1,272 @@
+//! Loop distribution (fission).
+//!
+//! The inverse of fusion: a nest whose innermost body holds several
+//! statements is split into one nest per statement group, enabling
+//! per-statement interchange/layout decisions and reducing register
+//! pressure. Legality: a statement may move to a later loop only if no
+//! dependence flows from a later-loop statement back to it across
+//! iterations. We implement a conservative order-preserving version:
+//! adjacent statements are kept in the same group whenever the shared
+//! fusion-legality check cannot prove their separation safe.
+
+use crate::fusion::pair_fusable;
+use crate::nest::{NestLevel, PerfectNest};
+use selcache_ir::{Item, Loop, LoopId, Program, Stmt, VarId};
+
+/// Fresh loop-id allocator (distribution creates new loops).
+fn fresh_loop(next: &mut u32) -> LoopId {
+    *next += 1;
+    LoopId(*next - 1)
+}
+
+/// Splitting `earlier` into a loop that fully precedes `later`'s loop is
+/// legal iff every conflicting pair of instances already ran
+/// earlier-then-later — i.e. every solution of the address equation has
+/// `i_earlier <= i_later`. That is exactly the loop-fusion legality
+/// condition, so the check is shared.
+fn forward_only(vars: &[VarId], earlier: &Stmt, later: &Stmt) -> bool {
+    earlier
+        .refs
+        .iter()
+        .all(|r1| later.refs.iter().all(|r2| pair_fusable(vars, r1, r2)))
+}
+
+/// True if the two statements conflict at all (shared array with a write);
+/// independent statements may always be separated.
+fn stmts_dependent(_vars: &[VarId], a: &Stmt, b: &Stmt) -> bool {
+    for r1 in &a.refs {
+        for r2 in &b.refs {
+            if !r1.write && !r2.write {
+                continue;
+            }
+            match (r1.pattern.array(), r2.pattern.array()) {
+                (Some(x), Some(y)) if x == y => return true,
+                (None, None) => {
+                    // Two scalar refs: conflict only on the same slot.
+                    use selcache_ir::RefPattern;
+                    if let (RefPattern::Scalar(s1), RefPattern::Scalar(s2)) =
+                        (&r1.pattern, &r2.pattern)
+                    {
+                        if s1 == s2 {
+                            return true;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    false
+}
+
+/// Attempts to distribute the perfect nest rooted at `l` into one loop per
+/// independent statement. Returns the replacement loops (more than one on
+/// success), or `None` when the nest is not distributable.
+pub fn distribute_nest(next_loop: &mut u32, l: &Loop) -> Option<Vec<Loop>> {
+    let nest = PerfectNest::extract(l);
+    if !nest.is_flat() {
+        return None;
+    }
+    let stmts: Vec<Stmt> = nest.stmts().into_iter().cloned().collect();
+    if stmts.len() < 2 {
+        return None;
+    }
+    let vars = nest.vars();
+
+    // Greedy grouping preserving statement order: a statement joins the
+    // current group if it depends on (or feeds) anything in it in a way
+    // that distribution could break.
+    let mut groups: Vec<Vec<Stmt>> = Vec::new();
+    for s in stmts {
+        let mut placed = false;
+        if let Some(group) = groups.last_mut() {
+            let must_stay = group.iter().any(|g| {
+                stmts_dependent(&vars, g, &s) && !forward_only(&vars, g, &s)
+            });
+            if must_stay {
+                group.push(s.clone());
+                placed = true;
+            }
+        }
+        if !placed {
+            groups.push(vec![s]);
+        }
+    }
+    if groups.len() < 2 {
+        return None;
+    }
+
+    // Rebuild one nest per group, with fresh loop ids for all but the first.
+    let mut out = Vec::with_capacity(groups.len());
+    for (k, group) in groups.into_iter().enumerate() {
+        let levels: Vec<NestLevel> = nest
+            .levels
+            .iter()
+            .map(|lv| {
+                if k == 0 {
+                    *lv
+                } else {
+                    NestLevel { id: fresh_loop(next_loop), var: lv.var, trip: lv.trip }
+                }
+            })
+            .collect();
+        out.push(PerfectNest { levels, body: vec![Item::Block(group)] }.rebuild());
+    }
+    Some(out)
+}
+
+/// Distributes every distributable software nest in the program; returns
+/// how many nests were split.
+///
+/// Note: loops produced by distribution share induction-variable ids with
+/// their siblings (they are sequential, never nested, so [`Program::validate`]
+/// accepts them).
+pub fn distribute_loops(program: &mut Program, threshold: f64) -> usize {
+    use crate::classify::Preference;
+    use crate::region::{analyze_loop, RegionClass};
+
+    fn walk(items: &mut Vec<Item>, threshold: f64, next_loop: &mut u32) -> usize {
+        let mut n = 0;
+        let mut i = 0;
+        while i < items.len() {
+            let replacement = match &mut items[i] {
+                Item::Loop(l) => match analyze_loop(l, threshold) {
+                    RegionClass::Uniform(Preference::Software) => {
+                        distribute_nest(next_loop, l)
+                    }
+                    RegionClass::Mixed => {
+                        n += walk(&mut l.body, threshold, next_loop);
+                        None
+                    }
+                    RegionClass::Uniform(Preference::Hardware) => None,
+                },
+                _ => None,
+            };
+            if let Some(loops) = replacement {
+                let count = loops.len();
+                items.splice(i..=i, loops.into_iter().map(Item::Loop));
+                n += 1;
+                i += count;
+            } else {
+                i += 1;
+            }
+        }
+        n
+    }
+
+    let mut items = std::mem::take(&mut program.items);
+    let mut next_loop = program.num_loops;
+    let n = walk(&mut items, threshold, &mut next_loop);
+    program.items = items;
+    program.num_loops = next_loop;
+    debug_assert!(program.validate().is_ok(), "distribution produced invalid program");
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use selcache_ir::{Interp, OpKind, ProgramBuilder, Subscript};
+
+    #[test]
+    fn independent_statements_split() {
+        let mut b = ProgramBuilder::new("t");
+        let a = b.array("A", &[64], 8);
+        let c = b.array("C", &[64], 8);
+        b.loop_(64, |b, i| {
+            b.stmt(|s| {
+                s.fp(1).write(a, vec![Subscript::var(i)]);
+            });
+            b.stmt(|s| {
+                s.fp(1).write(c, vec![Subscript::var(i)]);
+            });
+        });
+        let mut p = b.finish().unwrap();
+        assert_eq!(distribute_loops(&mut p, 0.5), 1);
+        assert_eq!(p.loop_count(), 2);
+        // Same work.
+        let fp = Interp::new(&p).filter(|o| o.kind == OpKind::FpAlu).count();
+        assert_eq!(fp, 128);
+    }
+
+    #[test]
+    fn forward_producer_consumer_splits() {
+        // s1 writes A[i]; s2 reads A[i]: after distribution all writes
+        // complete before any read — still correct.
+        let mut b = ProgramBuilder::new("t");
+        let a = b.array("A", &[64], 8);
+        let c = b.array("C", &[64], 8);
+        b.loop_(64, |b, i| {
+            b.stmt(|s| {
+                s.fp(1).write(a, vec![Subscript::var(i)]);
+            });
+            b.stmt(|s| {
+                s.read(a, vec![Subscript::var(i)]).fp(1).write(c, vec![Subscript::var(i)]);
+            });
+        });
+        let mut p = b.finish().unwrap();
+        assert_eq!(distribute_loops(&mut p, 0.5), 1);
+        assert_eq!(p.loop_count(), 2);
+    }
+
+    #[test]
+    fn recurrence_stays_together() {
+        // s2 reads A[i-1] written by s1 in the previous iteration, s1 reads
+        // C[i-1] written by s2: a cross-statement cycle with unknown-sign
+        // interplay must not be split.
+        let mut b = ProgramBuilder::new("t");
+        let a = b.array("A", &[65], 8);
+        let c = b.array("C", &[65], 8);
+        b.loop_(64, |b, i| {
+            b.stmt(|s| {
+                s.read(c, vec![Subscript::var(i)]).fp(1).write(a, vec![Subscript::linear(i, 1, 1)]);
+            });
+            b.stmt(|s| {
+                s.read(a, vec![Subscript::var(i)]).fp(1).write(c, vec![Subscript::linear(i, 1, 1)]);
+            });
+        });
+        let mut p = b.finish().unwrap();
+        let n = distribute_loops(&mut p, 0.5);
+        // The A[i+1]→A[i] flow is fine forward, but C feeds back into s1:
+        // the conservative analysis keeps the pair fused.
+        assert_eq!(n, 0, "recurrence must not be distributed");
+        assert_eq!(p.loop_count(), 1);
+    }
+
+    #[test]
+    fn single_statement_nest_untouched() {
+        let mut b = ProgramBuilder::new("t");
+        let a = b.array("A", &[64], 8);
+        b.loop_(64, |b, i| {
+            b.stmt(|s| {
+                s.write(a, vec![Subscript::var(i)]);
+            });
+        });
+        let mut p = b.finish().unwrap();
+        assert_eq!(distribute_loops(&mut p, 0.5), 0);
+    }
+
+    #[test]
+    fn distribution_preserves_address_multiset() {
+        let mut b = ProgramBuilder::new("t");
+        let a = b.array("A", &[32, 16], 8);
+        let c = b.array("C", &[32, 16], 8);
+        b.nest2(32, 16, |b, i, j| {
+            b.stmt(|s| {
+                s.read(a, vec![Subscript::var(i), Subscript::var(j)]).fp(1);
+            });
+            b.stmt(|s| {
+                s.read(c, vec![Subscript::var(i), Subscript::var(j)]).fp(1);
+            });
+        });
+        let mut p = b.finish().unwrap();
+        let mut before: Vec<u64> =
+            Interp::new(&p).filter_map(|o| o.kind.addr().map(|x| x.0)).collect();
+        distribute_loops(&mut p, 0.5);
+        let mut after: Vec<u64> =
+            Interp::new(&p).filter_map(|o| o.kind.addr().map(|x| x.0)).collect();
+        before.sort_unstable();
+        after.sort_unstable();
+        assert_eq!(before, after);
+    }
+}

@@ -1,0 +1,198 @@
+//! Loop interchange (permutation), guided by the reuse cost model and
+//! checked against the dependence analysis.
+
+use crate::depend::{nest_dependences, permutation_legal};
+use crate::nest::PerfectNest;
+use crate::reuse::preferred_permutation;
+use selcache_ir::{ArrayDecl, Loop};
+
+/// Attempts to permute the loops of the perfect nest rooted at `l` so the
+/// loop with the most reuse runs innermost. Returns the transformed loop, or
+/// `None` when the nest is not transformable (imperfect, dynamic trips,
+/// depth < 2), already optimal, or no legal improving permutation exists.
+pub fn interchange_nest(arrays: &[ArrayDecl], l: &Loop, block_bytes: u64) -> Option<Loop> {
+    let nest = PerfectNest::extract(l);
+    if nest.levels.len() < 2 || !nest.is_flat() || !nest.all_const_trips() {
+        return None;
+    }
+    let vars = nest.vars();
+    let stmts = nest.stmts();
+    let desired = preferred_permutation(arrays, &vars, &stmts, block_bytes);
+    let identity: Vec<usize> = (0..vars.len()).collect();
+    if desired == identity {
+        return None;
+    }
+    let deps = nest_dependences(&vars, &stmts);
+
+    // Candidate permutations in preference order: the full cost-sorted
+    // permutation, then just rotating the preferred innermost loop into the
+    // innermost position.
+    let mut candidates = vec![desired.clone()];
+    let preferred_inner = *desired.last().expect("non-empty permutation");
+    let mut rotate: Vec<usize> = identity.iter().copied().filter(|&k| k != preferred_inner).collect();
+    rotate.push(preferred_inner);
+    if rotate != desired && rotate != identity {
+        candidates.push(rotate);
+    }
+
+    for perm in candidates {
+        if permutation_legal(&deps, &perm) {
+            let levels = perm.iter().map(|&k| nest.levels[k]).collect();
+            return Some(PerfectNest { levels, body: nest.body }.rebuild());
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use selcache_ir::{ProgramBuilder, Program, Subscript};
+
+    /// The paper's Section 3.2 example: `for i { for j { U[j] += V[i][j] *
+    /// W[j][i] } }`. Temporal reuse of `U[j]` is carried by `i`, so the
+    /// compiler interchanges to put `i` innermost.
+    fn paper_example() -> Program {
+        let mut b = ProgramBuilder::new("ex");
+        let u = b.array("U", &[64], 8);
+        let v = b.array("V", &[64, 64], 8);
+        let w = b.array("W", &[64, 64], 8);
+        b.nest2(64, 64, |b, i, j| {
+            b.stmt(|s| {
+                s.read(u, vec![Subscript::var(j)])
+                    .read(v, vec![Subscript::var(i), Subscript::var(j)])
+                    .read(w, vec![Subscript::var(j), Subscript::var(i)])
+                    .fp(2)
+                    .write(u, vec![Subscript::var(j)]);
+            });
+        });
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn paper_example_interchanges() {
+        let p = paper_example();
+        let l = p.items[0].as_loop().unwrap();
+        let i_var = l.var;
+        let new = interchange_nest(&p.arrays, l, 32).expect("interchange applies");
+        // After interchange, i (originally outermost) is innermost.
+        let nest = PerfectNest::extract(&new);
+        assert_eq!(nest.levels.len(), 2);
+        assert_eq!(nest.levels[1].var, i_var);
+    }
+
+    #[test]
+    fn row_major_sweep_is_already_optimal() {
+        let mut b = ProgramBuilder::new("t");
+        let a = b.array("A", &[64, 64], 8);
+        b.nest2(64, 64, |b, i, j| {
+            b.stmt(|s| {
+                s.read(a, vec![Subscript::var(i), Subscript::var(j)]).fp(1);
+            });
+        });
+        let p = b.finish().unwrap();
+        let l = p.items[0].as_loop().unwrap();
+        assert!(interchange_nest(&p.arrays, l, 32).is_none());
+    }
+
+    #[test]
+    fn column_sweep_interchanges_to_row_order() {
+        let mut b = ProgramBuilder::new("t");
+        let a = b.array("A", &[64, 64], 8);
+        // for i { for j { A[j][i] } }: column order, should interchange.
+        b.nest2(64, 64, |b, i, j| {
+            b.stmt(|s| {
+                s.read(a, vec![Subscript::var(j), Subscript::var(i)]).fp(1);
+            });
+        });
+        let p = b.finish().unwrap();
+        let l = p.items[0].as_loop().unwrap();
+        let j_var = PerfectNest::extract(l).levels[1].var;
+        let new = interchange_nest(&p.arrays, l, 32).expect("interchange applies");
+        let nest = PerfectNest::extract(&new);
+        // j must now be outermost (i innermost gives unit stride on dim 1).
+        assert_eq!(nest.levels[0].var, j_var);
+    }
+
+    #[test]
+    fn crossing_dependence_blocks_interchange() {
+        let mut b = ProgramBuilder::new("t");
+        let a = b.array("A", &[64, 64], 8);
+        // A[i][j] = A[i-1][j+1]: distance (1, -1), interchange illegal.
+        // Access order favors interchange (store A[j]... make access column
+        // order so the cost model wants to interchange).
+        b.nest2(64, 64, |b, i, j| {
+            b.stmt(|s| {
+                s.read(
+                    a,
+                    vec![Subscript::linear(i, 1, -1), Subscript::linear(j, 1, 1)],
+                )
+                .fp(1)
+                .write(a, vec![Subscript::var(i), Subscript::var(j)]);
+            });
+        });
+        let p = b.finish().unwrap();
+        let l = p.items[0].as_loop().unwrap();
+        // Row-major accesses are already optimal here, so force the check by
+        // asking for the column-order variant:
+        let mut bcol = ProgramBuilder::new("t2");
+        let a2 = bcol.array("A", &[64, 64], 8);
+        bcol.nest2(64, 64, |b, i, j| {
+            b.stmt(|s| {
+                s.read(
+                    a2,
+                    vec![Subscript::linear(j, 1, 1), Subscript::linear(i, 1, -1)],
+                )
+                .fp(1)
+                .write(a2, vec![Subscript::var(j), Subscript::var(i)]);
+            });
+        });
+        let p2 = bcol.finish().unwrap();
+        let l2 = p2.items[0].as_loop().unwrap();
+        // Cost model wants i innermost, but distance (1,-1) over (i,j)...
+        // dependence blocks it.
+        assert!(interchange_nest(&p2.arrays, l2, 32).is_none());
+        let _ = l; // first variant: already row-optimal
+        assert!(interchange_nest(&p.arrays, l, 32).is_none());
+    }
+
+    #[test]
+    fn imperfect_nest_untouched() {
+        let mut b = ProgramBuilder::new("t");
+        let a = b.array("A", &[64, 64], 8);
+        b.loop_(64, |b, i| {
+            b.stmt(|s| {
+                s.int(1);
+            });
+            b.loop_(64, |b, j| {
+                b.stmt(|s| {
+                    s.read(a, vec![Subscript::var(j), Subscript::var(i)]);
+                });
+            });
+        });
+        let p = b.finish().unwrap();
+        let l = p.items[0].as_loop().unwrap();
+        assert!(interchange_nest(&p.arrays, l, 32).is_none());
+    }
+
+    #[test]
+    fn three_deep_nest_permutes_fully() {
+        let mut b = ProgramBuilder::new("t");
+        let a = b.array("A", &[32, 32, 32], 8);
+        // Access A[k][j][i]: worst order; optimal is reverse permutation.
+        b.nest3(32, 32, 32, |b, i, j, k| {
+            b.stmt(|s| {
+                s.read(a, vec![Subscript::var(k), Subscript::var(j), Subscript::var(i)]).fp(1);
+            });
+        });
+        let p = b.finish().unwrap();
+        let l = p.items[0].as_loop().unwrap();
+        let orig = PerfectNest::extract(l);
+        let new = interchange_nest(&p.arrays, l, 32).expect("permutes");
+        let nest = PerfectNest::extract(&new);
+        // i (originally outermost) must be innermost now; j and k tie on
+        // cost, so their relative order is unspecified.
+        assert_eq!(nest.levels[2].var, orig.levels[0].var);
+        assert_ne!(nest.levels[2].var, nest.levels[0].var);
+    }
+}

@@ -1,0 +1,153 @@
+//! Perfect-nest extraction and reconstruction.
+
+use selcache_ir::{Item, Loop, LoopId, Stmt, Trip, VarId};
+
+/// One loop level of a perfect nest (outermost first).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NestLevel {
+    /// Loop identity.
+    pub id: LoopId,
+    /// Induction variable.
+    pub var: VarId,
+    /// Trip count.
+    pub trip: Trip,
+}
+
+/// A perfect nest: a chain of singly-nested loops and the innermost body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfectNest {
+    /// Loop levels, outermost first.
+    pub levels: Vec<NestLevel>,
+    /// Innermost loop body (may still contain further, imperfect nests).
+    pub body: Vec<Item>,
+}
+
+impl PerfectNest {
+    /// Extracts the maximal perfect-nest prefix rooted at `l`.
+    pub fn extract(l: &Loop) -> PerfectNest {
+        let mut levels = vec![NestLevel { id: l.id, var: l.var, trip: l.trip }];
+        let mut body = &l.body;
+        while let [Item::Loop(inner)] = body.as_slice() {
+            levels.push(NestLevel { id: inner.id, var: inner.var, trip: inner.trip });
+            body = &inner.body;
+        }
+        PerfectNest { levels, body: body.clone() }
+    }
+
+    /// True if the innermost body contains no further loops (the nest is the
+    /// whole structure).
+    pub fn is_flat(&self) -> bool {
+        self.body.iter().all(|i| !matches!(i, Item::Loop(_)))
+    }
+
+    /// True if every level has a compile-time constant trip count.
+    pub fn all_const_trips(&self) -> bool {
+        self.levels.iter().all(|lv| matches!(lv.trip, Trip::Const(_)))
+    }
+
+    /// The induction variables, outermost first.
+    pub fn vars(&self) -> Vec<VarId> {
+        self.levels.iter().map(|lv| lv.var).collect()
+    }
+
+    /// All statements of the innermost body (not recursing into inner
+    /// loops).
+    pub fn stmts(&self) -> Vec<&Stmt> {
+        self.body
+            .iter()
+            .filter_map(|i| match i {
+                Item::Block(stmts) => Some(stmts.iter()),
+                _ => None,
+            })
+            .flatten()
+            .collect()
+    }
+
+    /// Product of the (maximum) trip counts — the nest's iteration volume.
+    pub fn volume(&self) -> f64 {
+        self.levels.iter().map(|lv| lv.trip.max().max(0) as f64).product()
+    }
+
+    /// Rebuilds the nest into a single loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the nest has no levels.
+    pub fn rebuild(self) -> Loop {
+        let mut levels = self.levels;
+        assert!(!levels.is_empty(), "cannot rebuild an empty nest");
+        let innermost = levels.pop().expect("nonempty");
+        let mut current = Loop {
+            id: innermost.id,
+            var: innermost.var,
+            trip: innermost.trip,
+            body: self.body,
+        };
+        while let Some(lv) = levels.pop() {
+            current = Loop { id: lv.id, var: lv.var, trip: lv.trip, body: vec![Item::Loop(current)] };
+        }
+        current
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use selcache_ir::{ProgramBuilder, Subscript};
+
+    #[test]
+    fn extract_and_rebuild_roundtrip() {
+        let mut b = ProgramBuilder::new("t");
+        let a = b.array("A", &[8, 8, 8], 8);
+        b.nest3(4, 6, 8, |b, i, j, k| {
+            b.stmt(|s| {
+                s.read(a, vec![Subscript::var(i), Subscript::var(j), Subscript::var(k)]);
+            });
+        });
+        let p = b.finish().unwrap();
+        let l = p.items[0].as_loop().unwrap();
+        let nest = PerfectNest::extract(l);
+        assert_eq!(nest.levels.len(), 3);
+        assert!(nest.is_flat());
+        assert!(nest.all_const_trips());
+        assert_eq!(nest.volume(), 4.0 * 6.0 * 8.0);
+        assert_eq!(nest.stmts().len(), 1);
+        let rebuilt = nest.rebuild();
+        assert_eq!(&rebuilt, l);
+    }
+
+    #[test]
+    fn imperfect_nest_stops_at_branching_body() {
+        let mut b = ProgramBuilder::new("t");
+        b.loop_(4, |b, _| {
+            b.stmt(|s| {
+                s.int(1);
+            });
+            b.loop_(8, |b, _| {
+                b.stmt(|s| {
+                    s.int(1);
+                });
+            });
+        });
+        let p = b.finish().unwrap();
+        let l = p.items[0].as_loop().unwrap();
+        let nest = PerfectNest::extract(l);
+        assert_eq!(nest.levels.len(), 1);
+        assert!(!nest.is_flat());
+    }
+
+    #[test]
+    fn single_loop_is_perfect() {
+        let mut b = ProgramBuilder::new("t");
+        b.loop_(4, |b, _| {
+            b.stmt(|s| {
+                s.int(1);
+            });
+        });
+        let p = b.finish().unwrap();
+        let l = p.items[0].as_loop().unwrap();
+        let nest = PerfectNest::extract(l);
+        assert_eq!(nest.levels.len(), 1);
+        assert!(nest.is_flat());
+    }
+}

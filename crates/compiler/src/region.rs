@@ -1,0 +1,309 @@
+//! Region detection and ON/OFF instruction insertion (Section 2.2).
+//!
+//! The algorithm walks each loop nest from the innermost loop outward. An
+//! innermost loop's method comes from its analyzable-reference ratio
+//! ([`crate::classify`]); a loop whose nested loops all agree inherits their
+//! method (statements outside the children inherit it too); a loop whose
+//! children disagree is *mixed* — the scheme switches methods at the child
+//! boundaries, and statements between children are classified by their own
+//! references as if in an imaginary single-iteration loop.
+//!
+//! The naive pass marks every region header with an activate (ON) or
+//! deactivate (OFF) instruction, exactly as in Figure 2(b); the redundancy
+//! elimination of [`crate::redundant`] then produces Figure 2(c).
+
+use crate::classify::{items_counts, stmt_counts, Preference, RefCounts};
+use selcache_ir::{Item, Loop, Marker, Program};
+
+/// Classification of a loop region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegionClass {
+    /// The whole subtree prefers one method.
+    Uniform(Preference),
+    /// Nested loops disagree; methods switch inside this loop.
+    Mixed,
+}
+
+/// Analyzes a loop bottom-up, returning its region class.
+pub fn analyze_loop(l: &Loop, threshold: f64) -> RegionClass {
+    let child_loops: Vec<&Loop> = l
+        .body
+        .iter()
+        .filter_map(|i| match i {
+            Item::Loop(inner) => Some(inner),
+            _ => None,
+        })
+        .collect();
+    if child_loops.is_empty() {
+        return RegionClass::Uniform(items_counts(&l.body).preference(threshold));
+    }
+    let mut prefs = Vec::new();
+    for c in &child_loops {
+        match analyze_loop(c, threshold) {
+            RegionClass::Uniform(p) => prefs.push(p),
+            RegionClass::Mixed => return RegionClass::Mixed,
+        }
+    }
+    if prefs.windows(2).all(|w| w[0] == w[1]) {
+        // All children agree: propagate to the whole loop (including any
+        // statements outside the child nests).
+        RegionClass::Uniform(prefs[0])
+    } else {
+        RegionClass::Mixed
+    }
+}
+
+fn marker_for(p: Preference) -> Marker {
+    match p {
+        Preference::Hardware => Marker::On,
+        Preference::Software => Marker::Off,
+    }
+}
+
+/// Minimum dynamic statement executions for a region to warrant its own
+/// ON/OFF bracket. A mixed loop whose child regions are all smaller than
+/// this is classified as a whole by its volume-weighted reference mix —
+/// switching the assist every few iterations would cost more than it saves.
+pub const MIN_REGION_VOLUME: f64 = 256.0;
+
+/// Estimated dynamic statement executions of an item list.
+fn dyn_stmts(items: &[Item], mult: f64) -> f64 {
+    items
+        .iter()
+        .map(|it| match it {
+            Item::Loop(l) => dyn_stmts(&l.body, mult * l.trip.max().max(0) as f64),
+            Item::Block(stmts) => mult * stmts.len() as f64,
+            Item::Marker(_) => 0.0,
+        })
+        .sum()
+}
+
+/// Volume-weighted (analyzable, total) reference counts.
+fn weighted_counts(items: &[Item], mult: f64) -> (f64, f64) {
+    let mut ana = 0.0;
+    let mut tot = 0.0;
+    for it in items {
+        match it {
+            Item::Loop(l) => {
+                let (a, t) = weighted_counts(&l.body, mult * l.trip.max().max(0) as f64);
+                ana += a;
+                tot += t;
+            }
+            Item::Block(stmts) => {
+                for s in stmts {
+                    let c = stmt_counts(s);
+                    ana += mult * c.analyzable as f64;
+                    tot += mult * c.total as f64;
+                }
+            }
+            Item::Marker(_) => {}
+        }
+    }
+    (ana, tot)
+}
+
+fn mark_items(items: &[Item], threshold: f64, min_volume: f64, out: &mut Vec<Item>) {
+    for item in items {
+        match item {
+            Item::Loop(l) => match analyze_loop(l, threshold) {
+                RegionClass::Uniform(p) => {
+                    out.push(Item::Marker(marker_for(p)));
+                    out.push(Item::Loop(l.clone()));
+                }
+                RegionClass::Mixed => {
+                    // Fine-grained mixed loop: every child region is too
+                    // small to bracket individually. Classify the whole loop
+                    // by its volume-weighted reference mix.
+                    let fine_grained = l.body.iter().all(|it| match it {
+                        Item::Loop(inner) => dyn_stmts(&inner.body, inner.trip.max().max(0) as f64) < min_volume,
+                        _ => true,
+                    });
+                    if fine_grained {
+                        let (ana, tot) = weighted_counts(&l.body, 1.0);
+                        let p = if tot == 0.0 || ana / tot > threshold {
+                            Preference::Software
+                        } else {
+                            Preference::Hardware
+                        };
+                        out.push(Item::Marker(marker_for(p)));
+                        out.push(Item::Loop(l.clone()));
+                    } else {
+                        // Recurse: children get their own markers.
+                        let mut body = Vec::new();
+                        mark_items(&l.body, threshold, min_volume, &mut body);
+                        out.push(Item::Loop(Loop {
+                            id: l.id,
+                            var: l.var,
+                            trip: l.trip,
+                            body,
+                        }));
+                    }
+                }
+            },
+            Item::Block(stmts) => {
+                // Statements sandwiched between nests: an imaginary loop
+                // that iterates once, classified by its own references.
+                let c = stmts.iter().fold(RefCounts::default(), |acc, s| acc.merge(stmt_counts(s)));
+                out.push(Item::Marker(marker_for(c.preference(threshold))));
+                out.push(Item::Block(stmts.clone()));
+            }
+            Item::Marker(m) => out.push(Item::Marker(*m)),
+        }
+    }
+}
+
+/// Runs region detection and inserts the naive (per-region-header) ON/OFF
+/// markers, returning a new program. Use
+/// [`crate::redundant::eliminate_redundant_markers`] afterwards, or call
+/// [`crate::insert_markers`] which does both.
+pub fn detect_and_mark(program: &Program, threshold: f64) -> Program {
+    detect_and_mark_with(program, threshold, MIN_REGION_VOLUME)
+}
+
+/// [`detect_and_mark`] with an explicit fine-grained-region threshold
+/// (exposed for ablation studies; 0 disables coalescing).
+pub fn detect_and_mark_with(program: &Program, threshold: f64, min_volume: f64) -> Program {
+    let mut items = Vec::new();
+    mark_items(&program.items, threshold, min_volume, &mut items);
+    Program { items, ..program.clone() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use selcache_ir::{AffineExpr, ProgramBuilder, Subscript};
+
+    /// A program shaped like Figure 2(a): one outer loop with three level-2
+    /// nests — hardware, software, hardware.
+    fn figure2_like() -> Program {
+        let mut b = ProgramBuilder::new("fig2");
+        let a = b.array("A", &[32, 32], 8);
+        let x = b.array("X", &[1024], 8);
+        let ip = b.data_array("IP", (0..1024).rev().collect(), 4);
+        b.loop_(4, |b, _t| {
+            // Nest 1 (levels 2-4): irregular gathers -> hardware.
+            b.loop_(8, |b, _i| {
+                b.loop_(8, |b, _j| {
+                    b.loop_(8, |b, k| {
+                        b.stmt(|s| {
+                            s.gather(x, ip, AffineExpr::var(k), 0).int(1);
+                        });
+                    });
+                });
+            });
+            // Nest 2 (level 2): affine -> software.
+            b.loop_(32, |b, i| {
+                b.stmt(|s| {
+                    s.read(a, vec![Subscript::var(i), Subscript::constant(0)]).fp(1);
+                });
+            });
+            // Nest 3 (levels 2-3): irregular -> hardware.
+            b.loop_(8, |b, _i| {
+                b.loop_(8, |b, k| {
+                    b.stmt(|s| {
+                        s.gather(x, ip, AffineExpr::var(k), 2).int(1);
+                    });
+                });
+            });
+        });
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn outer_loop_is_mixed() {
+        let p = figure2_like();
+        let l = p.items[0].as_loop().unwrap();
+        assert_eq!(analyze_loop(l, 0.5), RegionClass::Mixed);
+    }
+
+    #[test]
+    fn inner_nests_classify_and_propagate() {
+        let p = figure2_like();
+        let outer = p.items[0].as_loop().unwrap();
+        let nests: Vec<&Loop> = outer
+            .body
+            .iter()
+            .filter_map(|i| i.as_loop())
+            .collect();
+        assert_eq!(nests.len(), 3);
+        assert_eq!(analyze_loop(nests[0], 0.5), RegionClass::Uniform(Preference::Hardware));
+        assert_eq!(analyze_loop(nests[1], 0.5), RegionClass::Uniform(Preference::Software));
+        assert_eq!(analyze_loop(nests[2], 0.5), RegionClass::Uniform(Preference::Hardware));
+    }
+
+    #[test]
+    fn naive_marking_brackets_each_region() {
+        let p = figure2_like();
+        let marked = detect_and_mark(&p, 0.5);
+        let outer = marked.items[0].as_loop().unwrap();
+        // ON nest1 OFF nest2 ON nest3 — one marker before each child nest.
+        let kinds: Vec<_> = outer
+            .body
+            .iter()
+            .filter_map(|i| match i {
+                Item::Marker(m) => Some(*m),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(kinds, vec![Marker::On, Marker::Off, Marker::On]);
+        assert_eq!(marked.marker_count(), 3);
+    }
+
+    #[test]
+    fn uniform_program_gets_single_header_marker() {
+        let mut b = ProgramBuilder::new("u");
+        let a = b.array("A", &[16, 16], 8);
+        b.nest2(16, 16, |b, i, j| {
+            b.stmt(|s| {
+                s.read(a, vec![Subscript::var(i), Subscript::var(j)]);
+            });
+        });
+        let p = b.finish().unwrap();
+        let marked = detect_and_mark(&p, 0.5);
+        assert_eq!(marked.marker_count(), 1);
+        assert!(matches!(marked.items[0], Item::Marker(Marker::Off)));
+    }
+
+    #[test]
+    fn sandwiched_statements_use_own_refs() {
+        let mut b = ProgramBuilder::new("s");
+        let h = b.array("H", &[512], 16);
+        let n = b.data_array("N", (0..512).collect(), 8);
+        let a = b.array("A", &[512], 8);
+        b.loop_(4, |b, _| {
+            b.loop_(512, |b, i| {
+                b.stmt(|s| {
+                    s.read(a, vec![Subscript::var(i)]);
+                });
+            });
+            // Pointer-chasing statements between the two nests.
+            b.stmt(|s| {
+                s.chase(h, n, 0);
+            });
+            b.loop_(512, |b, _| {
+                b.stmt(|s| {
+                    s.chase(h, n, 8);
+                });
+            });
+        });
+        let p = b.finish().unwrap();
+        let marked = detect_and_mark(&p, 0.5);
+        let outer = marked.items[0].as_loop().unwrap();
+        let kinds: Vec<_> = outer
+            .body
+            .iter()
+            .filter_map(|i| match i {
+                Item::Marker(m) => Some(*m),
+                _ => None,
+            })
+            .collect();
+        // Software nest, hardware statements, hardware nest.
+        assert_eq!(kinds, vec![Marker::Off, Marker::On, Marker::On]);
+    }
+
+    #[test]
+    fn validated_after_marking() {
+        let marked = detect_and_mark(&figure2_like(), 0.5);
+        assert!(marked.validate().is_ok());
+    }
+}

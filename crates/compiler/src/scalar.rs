@@ -1,0 +1,285 @@
+//! Scalar replacement (register promotion) of loop-invariant references.
+//!
+//! References that are invariant in the innermost loop (the paper's `U[j]`
+//! in Section 3.2 after interchange) are promoted to registers: one load in
+//! a preheader before the innermost loop, the in-loop references removed,
+//! and — for written references — one store in a postheader. This captures
+//! the register-usage benefit of the paper's unroll-and-jam + scalar
+//! replacement step without modelling register allocation explicitly.
+
+use crate::nest::PerfectNest;
+use crate::reuse::ref_stride;
+use selcache_ir::{ArrayDecl, Item, Loop, Ref, RefPattern, Stmt, VarId};
+
+/// Maximum number of distinct references promoted per loop (register
+/// pressure bound).
+pub const MAX_PROMOTED: usize = 8;
+
+fn pattern_key(p: &RefPattern) -> Option<String> {
+    // Structural key for equality grouping; only affine array refs qualify.
+    match p {
+        RefPattern::Array { array, subscripts } => {
+            if subscripts.iter().all(|s| s.is_affine()) {
+                Some(format!("{array:?}:{subscripts:?}"))
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Promotes innermost-invariant references of the perfect nest rooted at
+/// `l`. Returns the transformed loop, or `None` if nothing was promoted.
+pub fn scalar_replace(arrays: &[ArrayDecl], l: &Loop) -> Option<Loop> {
+    let nest = PerfectNest::extract(l);
+    if !nest.is_flat() {
+        return None;
+    }
+    let inner_var: VarId = nest.levels.last().expect("nest has a level").var;
+    let stmts = nest.stmts();
+
+    // Group candidate refs by structural pattern.
+    #[derive(Default)]
+    struct Cand {
+        pattern: Option<RefPattern>,
+        reads: usize,
+        writes: usize,
+    }
+    let mut cands: std::collections::BTreeMap<String, Cand> = Default::default();
+    // Arrays with any non-promotable (differently-subscripted) ref in the
+    // body: promotion of any ref to them would be unsound under aliasing.
+    let mut keys_per_array: std::collections::HashMap<u32, std::collections::BTreeSet<String>> =
+        Default::default();
+    for s in &stmts {
+        for r in &s.refs {
+            let Some(a) = r.pattern.array() else { continue };
+            match pattern_key(&r.pattern) {
+                Some(k) => {
+                    keys_per_array.entry(a.0).or_default().insert(k.clone());
+                    let c = cands.entry(k).or_default();
+                    c.pattern.get_or_insert_with(|| r.pattern.clone());
+                    if r.write {
+                        c.writes += 1;
+                    } else {
+                        c.reads += 1;
+                    }
+                }
+                None => {
+                    // Unanalyzable ref: poison the array.
+                    keys_per_array.entry(a.0).or_default().insert("<poison>".into());
+                    keys_per_array.entry(a.0).or_default().insert("<poison2>".into());
+                }
+            }
+        }
+    }
+
+    let mut promoted: Vec<(String, RefPattern, bool)> = Vec::new();
+    for (k, c) in &cands {
+        let Some(p) = &c.pattern else { continue };
+        // Invariant in the innermost loop?
+        let r = Ref::load(p.clone());
+        if ref_stride(arrays, &r, inner_var) != Some(0) {
+            continue;
+        }
+        // Sole access pattern to its array (no aliasing risk)?
+        let a = p.array().expect("array refs have arrays");
+        if keys_per_array.get(&a.0).map_or(0, |s| s.len()) != 1 {
+            continue;
+        }
+        // Worth promoting: more than one dynamic access per innermost
+        // iteration set (a read+write pair or repeated reads).
+        if c.reads + c.writes < 2 && c.writes == 0 {
+            continue;
+        }
+        promoted.push((k.clone(), p.clone(), c.writes > 0));
+        if promoted.len() == MAX_PROMOTED {
+            break;
+        }
+    }
+    if promoted.is_empty() {
+        return None;
+    }
+
+    // Remove promoted refs from the body.
+    let strip = |stmt: &Stmt| -> Stmt {
+        let mut s = stmt.clone();
+        s.refs.retain(|r| match pattern_key(&r.pattern) {
+            Some(k) => !promoted.iter().any(|(pk, _, _)| *pk == k),
+            None => true,
+        });
+        s
+    };
+    let new_body: Vec<Item> = nest
+        .body
+        .iter()
+        .map(|item| match item {
+            Item::Block(stmts) => Item::Block(stmts.iter().map(strip).collect()),
+            other => other.clone(),
+        })
+        .collect();
+
+    // Preheader loads and postheader stores.
+    let pre = Stmt::new(
+        promoted.iter().map(|(_, p, _)| Ref::load(p.clone())).collect(),
+        promoted.len() as u16,
+        0,
+    );
+    let post_refs: Vec<Ref> = promoted
+        .iter()
+        .filter(|(_, _, written)| *written)
+        .map(|(_, p, _)| Ref::store(p.clone()))
+        .collect();
+
+    let innermost = *nest.levels.last().expect("nest has a level");
+    let inner_loop = Loop {
+        id: innermost.id,
+        var: innermost.var,
+        trip: innermost.trip,
+        body: new_body,
+    };
+    let mut wrapped = vec![Item::Block(vec![pre]), Item::Loop(inner_loop)];
+    if !post_refs.is_empty() {
+        wrapped.push(Item::Block(vec![Stmt::new(post_refs, 0, 0)]));
+    }
+
+    // Rebuild outer levels around the wrapped innermost loop.
+    let mut current = wrapped;
+    for lv in nest.levels[..nest.levels.len() - 1].iter().rev() {
+        current = vec![Item::Loop(Loop { id: lv.id, var: lv.var, trip: lv.trip, body: current })];
+    }
+    match current.into_iter().next() {
+        Some(Item::Loop(l)) => Some(l),
+        // Depth-1 nest: the wrapping produced [pre, loop, post]; callers need
+        // a Loop, so wrap-around is not expressible — skip promotion there.
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use selcache_ir::{Interp, OpKind, Program, ProgramBuilder, Subscript};
+
+    /// for j { for i { U[j] += V[i][j] } } — U[j] invariant in i.
+    fn reduction(n: i64) -> Program {
+        let mut b = ProgramBuilder::new("red");
+        let u = b.array("U", &[n], 8);
+        let v = b.array("V", &[n, n], 8);
+        b.nest2(n, n, |b, j, i| {
+            b.stmt(|s| {
+                s.read(u, vec![Subscript::var(j)])
+                    .read(v, vec![Subscript::var(i), Subscript::var(j)])
+                    .fp(1)
+                    .write(u, vec![Subscript::var(j)]);
+            });
+        });
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn promotes_reduction_target() {
+        let p = reduction(16);
+        let l = p.items[0].as_loop().unwrap();
+        let new = scalar_replace(&p.arrays, l).expect("promotes");
+        let mut p2 = p.clone();
+        p2.items[0] = Item::Loop(new);
+        assert!(p2.validate().is_ok());
+        // Loads drop from 2/iter (U + V) to 1/iter (V) + 1 per outer iter.
+        let count_loads = |p: &Program| {
+            Interp::new(p)
+                .filter(|o| matches!(o.kind, OpKind::Load(_)))
+                .count()
+        };
+        let before = count_loads(&p);
+        let after = count_loads(&p2);
+        assert_eq!(before, 16 * 16 * 2);
+        assert_eq!(after, 16 * 16 + 16);
+        // Stores drop from 1/iter to 1 per outer iteration.
+        let count_stores = |p: &Program| {
+            Interp::new(p)
+                .filter(|o| matches!(o.kind, OpKind::Store(_)))
+                .count()
+        };
+        assert_eq!(count_stores(&p), 16 * 16);
+        assert_eq!(count_stores(&p2), 16);
+    }
+
+    #[test]
+    fn variant_ref_not_promoted() {
+        // A[i] varies with the innermost loop: nothing to promote.
+        let mut b = ProgramBuilder::new("t");
+        let a = b.array("A", &[64], 8);
+        b.loop_(4, |b, _j| {
+            b.loop_(64, |b, i| {
+                b.stmt(|s| {
+                    s.read(a, vec![Subscript::var(i)]).fp(1);
+                });
+            });
+        });
+        let p = b.finish().unwrap();
+        let l = p.items[0].as_loop().unwrap();
+        assert!(scalar_replace(&p.arrays, l).is_none());
+    }
+
+    #[test]
+    fn aliasing_subscripts_block_promotion() {
+        // U[j] and U[j+1] both appear: promotion would be unsound.
+        let mut b = ProgramBuilder::new("t");
+        let u = b.array("U", &[65], 8);
+        let v = b.array("V", &[64, 64], 8);
+        b.nest2(64, 64, |b, j, i| {
+            b.stmt(|s| {
+                s.read(u, vec![Subscript::var(j)])
+                    .read(u, vec![Subscript::linear(j, 1, 1)])
+                    .read(v, vec![Subscript::var(i), Subscript::var(j)])
+                    .fp(1)
+                    .write(u, vec![Subscript::var(j)]);
+            });
+        });
+        let p = b.finish().unwrap();
+        let l = p.items[0].as_loop().unwrap();
+        assert!(scalar_replace(&p.arrays, l).is_none());
+    }
+
+    #[test]
+    fn read_only_invariant_promoted_without_postheader() {
+        // Scale factor S[j] read repeatedly in the i loop.
+        let mut b = ProgramBuilder::new("t");
+        let sarr = b.array("S", &[64], 8);
+        let v = b.array("V", &[64, 64], 8);
+        b.nest2(64, 64, |b, j, i| {
+            b.stmt(|s| {
+                s.read(sarr, vec![Subscript::var(j)])
+                    .read(sarr, vec![Subscript::var(j)])
+                    .fp(1)
+                    .write(v, vec![Subscript::var(i), Subscript::var(j)]);
+            });
+        });
+        let p = b.finish().unwrap();
+        let l = p.items[0].as_loop().unwrap();
+        let new = scalar_replace(&p.arrays, l).expect("promotes");
+        let mut p2 = p.clone();
+        p2.items[0] = Item::Loop(new);
+        let stores = Interp::new(&p2)
+            .filter(|o| matches!(o.kind, OpKind::Store(_)))
+            .count();
+        // Only the V stores remain: no postheader stores for read-only S.
+        assert_eq!(stores, 64 * 64);
+    }
+
+    #[test]
+    fn depth_one_nest_skipped() {
+        let mut b = ProgramBuilder::new("t");
+        let a = b.array("A", &[4], 8);
+        b.loop_(64, |b, _i| {
+            b.stmt(|s| {
+                s.read(a, vec![Subscript::constant(0)])
+                    .write(a, vec![Subscript::constant(0)]);
+            });
+        });
+        let p = b.finish().unwrap();
+        let l = p.items[0].as_loop().unwrap();
+        assert!(scalar_replace(&p.arrays, l).is_none());
+    }
+}

@@ -1,0 +1,177 @@
+//! Machine configurations: the paper's base machine (Table 1) and the five
+//! sensitivity variants of Section 5 / Table 3.
+
+use selcache_cpu::CpuConfig;
+use selcache_mem::{AssistKind, CacheConfig, HierarchyConfig};
+use std::fmt;
+
+/// A complete machine description: core plus memory hierarchy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineConfig {
+    /// Processor-core parameters.
+    pub cpu: CpuConfig,
+    /// Memory-hierarchy parameters (assist kind is substituted per run).
+    pub mem: HierarchyConfig,
+    /// Human-readable name.
+    pub name: &'static str,
+}
+
+impl MachineConfig {
+    /// The base configuration of Table 1.
+    pub fn base() -> Self {
+        MachineConfig {
+            cpu: CpuConfig::paper_base(),
+            mem: HierarchyConfig::paper_base(AssistKind::None),
+            name: "Base Confg.",
+        }
+    }
+
+    /// Base with main-memory latency raised to 200 cycles (Figure 5).
+    pub fn higher_mem_latency() -> Self {
+        let mut c = Self::base();
+        c.mem.mem_latency = 200;
+        c.name = "Higher Mem. Lat.";
+        c
+    }
+
+    /// Base with a 1 MiB L2 (Figure 6).
+    pub fn larger_l2() -> Self {
+        let mut c = Self::base();
+        c.mem.l2 = CacheConfig::kib(1024, 4, 128);
+        c.name = "Larger L2 Size";
+        c
+    }
+
+    /// Base with 64 KiB L1 caches (Figure 7).
+    pub fn larger_l1() -> Self {
+        let mut c = Self::base();
+        c.mem.l1d = CacheConfig::kib(64, 4, 32);
+        c.mem.l1i = CacheConfig::kib(64, 4, 32);
+        c.name = "Larger L1 Size";
+        c
+    }
+
+    /// Base with 8-way L2 (Figure 8).
+    pub fn higher_l2_assoc() -> Self {
+        let mut c = Self::base();
+        c.mem.l2 = CacheConfig::kib(512, 8, 128);
+        c.name = "Higher L2 Asc.";
+        c
+    }
+
+    /// Base with 8-way L1 (Figure 9).
+    pub fn higher_l1_assoc() -> Self {
+        let mut c = Self::base();
+        c.mem.l1d = CacheConfig::kib(32, 8, 32);
+        c.mem.l1i = CacheConfig::kib(32, 8, 32);
+        c.name = "Higher L1 Asc.";
+        c
+    }
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        Self::base()
+    }
+}
+
+/// The six experiment configurations of Table 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ConfigVariant {
+    /// Table 1 base machine.
+    Base,
+    /// 200-cycle memory latency.
+    HigherMemLatency,
+    /// 1 MiB L2.
+    LargerL2,
+    /// 64 KiB L1.
+    LargerL1,
+    /// 8-way L2.
+    HigherL2Assoc,
+    /// 8-way L1.
+    HigherL1Assoc,
+}
+
+impl ConfigVariant {
+    /// All six variants, in Table 3 row order.
+    pub const ALL: [ConfigVariant; 6] = [
+        ConfigVariant::Base,
+        ConfigVariant::HigherMemLatency,
+        ConfigVariant::LargerL2,
+        ConfigVariant::LargerL1,
+        ConfigVariant::HigherL2Assoc,
+        ConfigVariant::HigherL1Assoc,
+    ];
+
+    /// The machine configuration for this variant.
+    pub fn machine(&self) -> MachineConfig {
+        match self {
+            ConfigVariant::Base => MachineConfig::base(),
+            ConfigVariant::HigherMemLatency => MachineConfig::higher_mem_latency(),
+            ConfigVariant::LargerL2 => MachineConfig::larger_l2(),
+            ConfigVariant::LargerL1 => MachineConfig::larger_l1(),
+            ConfigVariant::HigherL2Assoc => MachineConfig::higher_l2_assoc(),
+            ConfigVariant::HigherL1Assoc => MachineConfig::higher_l1_assoc(),
+        }
+    }
+
+    /// The figure this variant corresponds to (None for the base, which is
+    /// Figure 4).
+    pub fn figure(&self) -> u32 {
+        match self {
+            ConfigVariant::Base => 4,
+            ConfigVariant::HigherMemLatency => 5,
+            ConfigVariant::LargerL2 => 6,
+            ConfigVariant::LargerL1 => 7,
+            ConfigVariant::HigherL2Assoc => 8,
+            ConfigVariant::HigherL1Assoc => 9,
+        }
+    }
+}
+
+impl fmt::Display for ConfigVariant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.machine().name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_matches_table1() {
+        let c = MachineConfig::base();
+        assert_eq!(c.cpu.issue_width, 4);
+        assert_eq!(c.mem.l1d.size, 32 * 1024);
+        assert_eq!(c.mem.l1d.assoc, 4);
+        assert_eq!(c.mem.l1d.block_size, 32);
+        assert_eq!(c.mem.l2.size, 512 * 1024);
+        assert_eq!(c.mem.l2.block_size, 128);
+        assert_eq!(c.mem.l1_latency, 2);
+        assert_eq!(c.mem.l2_latency, 10);
+        assert_eq!(c.mem.mem_latency, 100);
+        assert_eq!(c.mem.bus_bytes, 8);
+    }
+
+    #[test]
+    fn variants_differ_in_exactly_the_right_knob() {
+        assert_eq!(MachineConfig::higher_mem_latency().mem.mem_latency, 200);
+        assert_eq!(MachineConfig::larger_l2().mem.l2.size, 1024 * 1024);
+        assert_eq!(MachineConfig::larger_l1().mem.l1d.size, 64 * 1024);
+        assert_eq!(MachineConfig::higher_l2_assoc().mem.l2.assoc, 8);
+        assert_eq!(MachineConfig::higher_l1_assoc().mem.l1d.assoc, 8);
+    }
+
+    #[test]
+    fn six_variants_map_to_figures() {
+        let figs: Vec<_> = ConfigVariant::ALL.iter().map(|v| v.figure()).collect();
+        assert_eq!(figs, vec![4, 5, 6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn display_names_match_table3() {
+        assert_eq!(ConfigVariant::Base.to_string(), "Base Confg.");
+        assert_eq!(ConfigVariant::HigherL1Assoc.to_string(), "Higher L1 Asc.");
+    }
+}

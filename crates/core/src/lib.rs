@@ -1,0 +1,39 @@
+//! # selcache-core
+//!
+//! The integrated selective hardware/compiler cache-optimization framework
+//! of Memik et al. (DATE 2003): machine configurations (Table 1 and the
+//! sensitivity variants), the four simulated versions of Section 4.3
+//! (pure hardware, pure software, combined, selective), the experiment
+//! runner, and paper-style report formatting for Table 2, Table 3, and
+//! Figures 4–9.
+//!
+//! ## Example
+//!
+//! ```
+//! use selcache_core::{Experiment, MachineConfig, Version};
+//! use selcache_mem::AssistKind;
+//! use selcache_workloads::{Benchmark, Scale};
+//!
+//! let exp = Experiment::new(MachineConfig::base(), AssistKind::Bypass);
+//! let base = exp.run(Benchmark::Vpenta, Scale::Tiny, Version::Base);
+//! let selective = exp.run(Benchmark::Vpenta, Scale::Tiny, Version::Selective);
+//! // The selective scheme improves on the base machine.
+//! assert!(selective.improvement_over(&base) > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod report;
+mod runner;
+mod sweep;
+
+pub use config::{ConfigVariant, MachineConfig};
+pub use report::{format_table3, table2, table3_row, BenchmarkRow, SuiteResult, Table3Row};
+pub use runner::{Experiment, SimResult, Version};
+pub use sweep::{l1_assoc_sweep, memory_latency_sweep, Sweep, SweepPoint};
+
+// Re-export the pieces callers need to parameterize experiments.
+pub use selcache_mem::AssistKind;
+pub use selcache_workloads::{Benchmark, Category, Scale};

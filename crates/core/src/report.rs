@@ -1,0 +1,350 @@
+//! Suite execution and paper-style report formatting (Table 2, Table 3,
+//! Figures 4–9).
+
+use crate::config::MachineConfig;
+use crate::runner::{Experiment, SimResult, Version};
+use selcache_mem::AssistKind;
+use selcache_workloads::{Benchmark, Category, Scale};
+use std::fmt::Write as _;
+
+/// Results for one benchmark: the base run and the percent improvement of
+/// each reported version.
+#[derive(Debug, Clone)]
+pub struct BenchmarkRow {
+    /// The benchmark.
+    pub benchmark: Benchmark,
+    /// Base-version result (the 100% reference).
+    pub base: SimResult,
+    /// Percent improvements, indexed like [`Version::REPORTED`]:
+    /// `[PureHardware, PureSoftware, Combined, Selective]`.
+    pub improvements: [f64; 4],
+}
+
+impl BenchmarkRow {
+    /// Improvement of one reported version.
+    pub fn improvement(&self, version: Version) -> f64 {
+        let idx = Version::REPORTED
+            .iter()
+            .position(|&v| v == version)
+            .expect("reported version");
+        self.improvements[idx]
+    }
+}
+
+/// A full suite sweep under one machine configuration and assist.
+#[derive(Debug, Clone)]
+pub struct SuiteResult {
+    /// Machine name (Table 3 row label).
+    pub machine_name: &'static str,
+    /// Assist under study.
+    pub assist: AssistKind,
+    /// One row per benchmark.
+    pub rows: Vec<BenchmarkRow>,
+}
+
+impl SuiteResult {
+    /// Runs the full 13-benchmark suite.
+    pub fn run(machine: MachineConfig, assist: AssistKind, scale: Scale) -> SuiteResult {
+        Self::run_subset(machine, assist, scale, &Benchmark::ALL)
+    }
+
+    /// Runs a subset of the suite (used by tests and quick sweeps).
+    pub fn run_subset(
+        machine: MachineConfig,
+        assist: AssistKind,
+        scale: Scale,
+        benchmarks: &[Benchmark],
+    ) -> SuiteResult {
+        let name = machine.name;
+        let exp = Experiment::new(machine, assist);
+        let rows = benchmarks
+            .iter()
+            .map(|&bm| {
+                let program = bm.build(scale);
+                let base = exp.run_program(&program, Version::Base);
+                let mut improvements = [0.0; 4];
+                for (k, &v) in Version::REPORTED.iter().enumerate() {
+                    let prepared = exp.prepare(&program, v);
+                    let r = exp.run_program(&prepared, v);
+                    improvements[k] = r.improvement_over(&base);
+                }
+                BenchmarkRow { benchmark: bm, base, improvements }
+            })
+            .collect();
+        SuiteResult { machine_name: name, assist, rows }
+    }
+
+    /// Suite-wide average improvement of a version.
+    pub fn average(&self, version: Version) -> f64 {
+        if self.rows.is_empty() {
+            return 0.0;
+        }
+        self.rows.iter().map(|r| r.improvement(version)).sum::<f64>() / self.rows.len() as f64
+    }
+
+    /// Average improvement over one access-pattern category.
+    pub fn average_by_category(&self, cat: Category, version: Version) -> f64 {
+        let vals: Vec<f64> = self
+            .rows
+            .iter()
+            .filter(|r| r.benchmark.category() == cat)
+            .map(|r| r.improvement(version))
+            .collect();
+        if vals.is_empty() {
+            0.0
+        } else {
+            vals.iter().sum::<f64>() / vals.len() as f64
+        }
+    }
+
+    /// Formats the suite as one of the paper's figures: percent improvement
+    /// in execution cycles per benchmark for the four versions.
+    pub fn format_figure(&self, figure_no: u32) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "Figure {figure_no}. {} ({} assist). % improvement in execution cycles vs. base.",
+            self.machine_name,
+            assist_name(self.assist)
+        );
+        let _ = writeln!(
+            out,
+            "{:<10} {:>9} {:>9} {:>9} {:>9}",
+            "Benchmark", "PureHW", "PureSW", "Combined", "Selective"
+        );
+        for r in &self.rows {
+            let _ = writeln!(
+                out,
+                "{:<10} {:>8.2}% {:>8.2}% {:>8.2}% {:>8.2}%",
+                r.benchmark.name(),
+                r.improvements[0],
+                r.improvements[1],
+                r.improvements[2],
+                r.improvements[3]
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{:<10} {:>8.2}% {:>8.2}% {:>8.2}% {:>8.2}%",
+            "AVERAGE",
+            self.average(Version::PureHardware),
+            self.average(Version::PureSoftware),
+            self.average(Version::Combined),
+            self.average(Version::Selective)
+        );
+        for cat in [Category::Regular, Category::Irregular, Category::Mixed] {
+            let _ = writeln!(
+                out,
+                "{:<10} {:>8.2}% {:>8.2}% {:>8.2}% {:>8.2}%",
+                format!("avg:{cat}"),
+                self.average_by_category(cat, Version::PureHardware),
+                self.average_by_category(cat, Version::PureSoftware),
+                self.average_by_category(cat, Version::Combined),
+                self.average_by_category(cat, Version::Selective)
+            );
+        }
+        out
+    }
+
+    /// Renders the suite as CSV (benchmark, category, base cycles, and the
+    /// four improvements) for external plotting.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "benchmark,category,base_cycles,pure_hw,pure_sw,combined,selective\n",
+        );
+        for r in &self.rows {
+            let _ = writeln!(
+                out,
+                "{},{},{},{:.4},{:.4},{:.4},{:.4}",
+                r.benchmark.name(),
+                r.benchmark.category(),
+                r.base.cycles,
+                r.improvements[0],
+                r.improvements[1],
+                r.improvements[2],
+                r.improvements[3]
+            );
+        }
+        out
+    }
+}
+
+fn assist_name(a: AssistKind) -> &'static str {
+    match a {
+        AssistKind::None => "no",
+        AssistKind::Bypass => "cache bypassing",
+        AssistKind::Victim => "victim cache",
+        AssistKind::Stream => "stream buffer",
+    }
+}
+
+/// Table 2: benchmark characteristics under the base configuration.
+pub fn table2(scale: Scale) -> String {
+    let exp = Experiment::new(MachineConfig::base(), AssistKind::None);
+    let mut out = String::new();
+    let _ = writeln!(out, "Table 2. Benchmark characteristics (scale: {scale}).");
+    let _ = writeln!(
+        out,
+        "{:<10} {:<26} {:>14} {:>9} {:>9}",
+        "Benchmark", "Input", "Instructions", "L1 Miss%", "L2 Miss%"
+    );
+    for bm in Benchmark::ALL {
+        let r = exp.run(bm, scale, Version::Base);
+        let _ = writeln!(
+            out,
+            "{:<10} {:<26} {:>14} {:>8.2} {:>8.2}",
+            bm.name(),
+            bm.input(),
+            format_count(r.instructions),
+            r.l1_miss_pct(),
+            r.l2_miss_pct()
+        );
+    }
+    out
+}
+
+fn format_count(n: u64) -> String {
+    if n >= 1_000_000 {
+        format!("{:.1}M", n as f64 / 1e6)
+    } else if n >= 1_000 {
+        format!("{:.1}K", n as f64 / 1e3)
+    } else {
+        n.to_string()
+    }
+}
+
+/// One row of Table 3: average improvements under one machine variant.
+#[derive(Debug, Clone)]
+pub struct Table3Row {
+    /// Variant name.
+    pub machine_name: &'static str,
+    /// Pure software average.
+    pub pure_software: f64,
+    /// Cache-bypassing (pure hardware) average.
+    pub cache_bypass: f64,
+    /// Combined (bypass + software) average.
+    pub combined_bypass: f64,
+    /// Selective (bypass + software) average.
+    pub selective_bypass: f64,
+    /// Victim-cache (pure hardware) average.
+    pub victim: f64,
+    /// Combined (victim + software) average.
+    pub combined_victim: f64,
+    /// Selective (victim + software) average.
+    pub selective_victim: f64,
+}
+
+/// Computes one Table 3 row from the two assist sweeps of a machine.
+pub fn table3_row(machine: MachineConfig, scale: Scale, benchmarks: &[Benchmark]) -> Table3Row {
+    let name = machine.name;
+    let bypass = SuiteResult::run_subset(machine.clone(), AssistKind::Bypass, scale, benchmarks);
+    let victim = SuiteResult::run_subset(machine, AssistKind::Victim, scale, benchmarks);
+    Table3Row {
+        machine_name: name,
+        pure_software: bypass.average(Version::PureSoftware),
+        cache_bypass: bypass.average(Version::PureHardware),
+        combined_bypass: bypass.average(Version::Combined),
+        selective_bypass: bypass.average(Version::Selective),
+        victim: victim.average(Version::PureHardware),
+        combined_victim: victim.average(Version::Combined),
+        selective_victim: victim.average(Version::Selective),
+    }
+}
+
+/// Formats Table 3 from precomputed rows.
+pub fn format_table3(rows: &[Table3Row]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Table 3. Average improvements (%).");
+    let _ = writeln!(
+        out,
+        "{:<17} {:>8} {:>8} {:>9} {:>10} {:>8} {:>9} {:>10}",
+        "Experiment", "PureSW", "Bypass", "Comb(byp)", "Sel(byp)", "Victim", "Comb(vic)", "Sel(vic)"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<17} {:>8.2} {:>8.2} {:>9.2} {:>10.2} {:>8.2} {:>9.2} {:>10.2}",
+            r.machine_name,
+            r.pure_software,
+            r.cache_bypass,
+            r.combined_bypass,
+            r.selective_bypass,
+            r.victim,
+            r.combined_victim,
+            r.selective_victim
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subset_suite_runs_and_formats() {
+        let s = SuiteResult::run_subset(
+            MachineConfig::base(),
+            AssistKind::Victim,
+            Scale::Tiny,
+            &[Benchmark::Adi, Benchmark::Li],
+        );
+        assert_eq!(s.rows.len(), 2);
+        let text = s.format_figure(4);
+        assert!(text.contains("Adi"));
+        assert!(text.contains("Li"));
+        assert!(text.contains("AVERAGE"));
+        assert!(text.contains("avg:regular"));
+    }
+
+    #[test]
+    fn averages_are_consistent() {
+        let s = SuiteResult::run_subset(
+            MachineConfig::base(),
+            AssistKind::Victim,
+            Scale::Tiny,
+            &[Benchmark::Adi],
+        );
+        assert!(
+            (s.average(Version::Selective)
+                - s.average_by_category(Category::Regular, Version::Selective))
+            .abs()
+                < 1e-9
+        );
+        assert_eq!(s.average_by_category(Category::Irregular, Version::Selective), 0.0);
+    }
+
+    #[test]
+    fn csv_roundtrips_fields() {
+        let s = SuiteResult::run_subset(
+            MachineConfig::base(),
+            AssistKind::Victim,
+            Scale::Tiny,
+            &[Benchmark::TpcDQ6],
+        );
+        let csv = s.to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "benchmark,category,base_cycles,pure_hw,pure_sw,combined,selective"
+        );
+        let row = lines.next().unwrap();
+        assert!(row.starts_with("TPC-D,Q6,mixed,"), "row: {row}");
+        assert_eq!(row.split(',').count(), 8); // benchmark name contains one comma
+    }
+
+    #[test]
+    fn format_count_units() {
+        assert_eq!(format_count(999), "999");
+        assert_eq!(format_count(58_200), "58.2K");
+        assert_eq!(format_count(11_200_000), "11.2M");
+    }
+
+    #[test]
+    fn table3_row_has_all_columns() {
+        let r = table3_row(MachineConfig::base(), Scale::Tiny, &[Benchmark::Adi, Benchmark::Perl]);
+        let text = format_table3(&[r]);
+        assert!(text.contains("Base Confg."));
+        assert!(text.contains("Sel(vic)"));
+    }
+}

@@ -1,0 +1,242 @@
+//! The experiment runner: builds a benchmark, prepares the code for one of
+//! the paper's simulated versions (Section 4.3), and runs it through the
+//! processor + memory-hierarchy simulator.
+
+use crate::config::MachineConfig;
+use selcache_compiler::{optimize, selective, OptConfig};
+use selcache_cpu::{CpuStats, Pipeline};
+use selcache_ir::{Interp, Program};
+use selcache_mem::{AssistKind, HierarchyStats, MemoryHierarchy};
+use selcache_workloads::{Benchmark, Scale};
+use std::fmt;
+
+/// The four simulated versions of Section 4.3, plus the base run that
+/// improvements are measured against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Version {
+    /// Base code on the base machine (the 100% reference).
+    Base,
+    /// Base code with the hardware assist always on.
+    PureHardware,
+    /// Compiler-optimized code, no hardware assist.
+    PureSoftware,
+    /// Compiler-optimized code with the assist always on.
+    Combined,
+    /// Compiler-optimized code with compiler-inserted ON/OFF instructions
+    /// driving the assist (this paper's approach).
+    Selective,
+}
+
+impl Version {
+    /// The four versions the paper's figures report (everything but
+    /// [`Version::Base`]).
+    pub const REPORTED: [Version; 4] = [
+        Version::PureHardware,
+        Version::PureSoftware,
+        Version::Combined,
+        Version::Selective,
+    ];
+}
+
+impl fmt::Display for Version {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Version::Base => "Base",
+            Version::PureHardware => "Pure Hardware",
+            Version::PureSoftware => "Pure Software",
+            Version::Combined => "Combined",
+            Version::Selective => "Selective",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Outcome of one simulation run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimResult {
+    /// Total execution cycles.
+    pub cycles: u64,
+    /// Committed instructions.
+    pub instructions: u64,
+    /// Core statistics.
+    pub cpu: CpuStats,
+    /// Memory-hierarchy statistics.
+    pub mem: HierarchyStats,
+}
+
+impl SimResult {
+    /// L1 data-cache miss rate in percent.
+    pub fn l1_miss_pct(&self) -> f64 {
+        self.mem.l1d.miss_rate() * 100.0
+    }
+
+    /// L2 miss rate in percent.
+    pub fn l2_miss_pct(&self) -> f64 {
+        self.mem.l2.miss_rate() * 100.0
+    }
+
+    /// Percent improvement of `self` relative to a base run (positive =
+    /// faster).
+    pub fn improvement_over(&self, base: &SimResult) -> f64 {
+        if base.cycles == 0 {
+            return 0.0;
+        }
+        (base.cycles as f64 - self.cycles as f64) / base.cycles as f64 * 100.0
+    }
+}
+
+/// An experiment: a machine configuration plus the hardware assist under
+/// study.
+///
+/// ```
+/// use selcache_core::{Experiment, MachineConfig, Version};
+/// use selcache_mem::AssistKind;
+/// use selcache_workloads::{Benchmark, Scale};
+///
+/// let exp = Experiment::new(MachineConfig::base(), AssistKind::Victim);
+/// let base = exp.run(Benchmark::Adi, Scale::Tiny, Version::Base);
+/// let sel = exp.run(Benchmark::Adi, Scale::Tiny, Version::Selective);
+/// assert!(sel.cycles > 0 && base.cycles > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    machine: MachineConfig,
+    assist: AssistKind,
+    opt: OptConfig,
+}
+
+impl Experiment {
+    /// Creates an experiment with the default compiler configuration.
+    pub fn new(machine: MachineConfig, assist: AssistKind) -> Self {
+        let mut opt = OptConfig {
+            block_bytes: machine.mem.l1d.block_size,
+            ..OptConfig::default()
+        };
+        opt.tiling.cache_bytes = machine.mem.l1d.size;
+        Experiment { machine, assist, opt }
+    }
+
+    /// Creates an experiment with an explicit compiler configuration.
+    pub fn with_opt(machine: MachineConfig, assist: AssistKind, opt: OptConfig) -> Self {
+        Experiment { machine, assist, opt }
+    }
+
+    /// The machine under test.
+    pub fn machine(&self) -> &MachineConfig {
+        &self.machine
+    }
+
+    /// The assist under study.
+    pub fn assist(&self) -> AssistKind {
+        self.assist
+    }
+
+    /// The compiler configuration.
+    pub fn opt(&self) -> &OptConfig {
+        &self.opt
+    }
+
+    /// Prepares the program a version executes (Section 4.4's software
+    /// development flow).
+    pub fn prepare(&self, program: &Program, version: Version) -> Program {
+        match version {
+            Version::Base | Version::PureHardware => program.clone(),
+            Version::PureSoftware | Version::Combined => optimize(program, &self.opt),
+            Version::Selective => selective(program, &self.opt),
+        }
+    }
+
+    /// The assist attached to the hierarchy for a version.
+    fn assist_for(&self, version: Version) -> AssistKind {
+        match version {
+            Version::Base | Version::PureSoftware => AssistKind::None,
+            _ => self.assist,
+        }
+    }
+
+    /// Whether the assist flag starts enabled for a version. The selective
+    /// version starts *off* (the code is assumed software-optimized until an
+    /// ON instruction runs); the always-on versions start on.
+    fn initially_enabled(&self, version: Version) -> bool {
+        !matches!(version, Version::Selective)
+    }
+
+    /// Runs a prepared program.
+    pub fn run_program(&self, program: &Program, version: Version) -> SimResult {
+        let mut hier_cfg = self.machine.mem.clone();
+        hier_cfg.assist = self.assist_for(version);
+        let mut mem = MemoryHierarchy::new(hier_cfg);
+        mem.set_assist_enabled(self.initially_enabled(version));
+        let stats = Pipeline::new(self.machine.cpu).run(Interp::new(program), &mut mem);
+        SimResult {
+            cycles: stats.cycles,
+            instructions: stats.committed,
+            cpu: stats,
+            mem: mem.stats(),
+        }
+    }
+
+    /// Builds, prepares, and runs a benchmark under a version.
+    pub fn run(&self, benchmark: Benchmark, scale: Scale, version: Version) -> SimResult {
+        let base = benchmark.build(scale);
+        let prepared = self.prepare(&base, version);
+        self.run_program(&prepared, version)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exp(assist: AssistKind) -> Experiment {
+        Experiment::new(MachineConfig::base(), assist)
+    }
+
+    #[test]
+    fn base_and_versions_commit_same_work() {
+        // Base and PureHardware run identical code; Selective adds only the
+        // ON/OFF instructions.
+        let e = exp(AssistKind::Bypass);
+        let base = e.run(Benchmark::Chaos, Scale::Tiny, Version::Base);
+        let hw = e.run(Benchmark::Chaos, Scale::Tiny, Version::PureHardware);
+        assert_eq!(base.instructions, hw.instructions);
+        let sel = e.run(Benchmark::Chaos, Scale::Tiny, Version::Selective);
+        assert!(sel.cpu.assist_toggles > 0, "selective must toggle the assist");
+    }
+
+    #[test]
+    fn software_helps_regular_code() {
+        let e = exp(AssistKind::Bypass);
+        let base = e.run(Benchmark::Vpenta, Scale::Tiny, Version::Base);
+        let sw = e.run(Benchmark::Vpenta, Scale::Tiny, Version::PureSoftware);
+        assert!(
+            sw.improvement_over(&base) > 5.0,
+            "vpenta software improvement {:.2}%",
+            sw.improvement_over(&base)
+        );
+    }
+
+    #[test]
+    fn software_cannot_help_irregular_code() {
+        let e = exp(AssistKind::Bypass);
+        let base = e.run(Benchmark::Li, Scale::Tiny, Version::Base);
+        let sw = e.run(Benchmark::Li, Scale::Tiny, Version::PureSoftware);
+        let imp = sw.improvement_over(&base).abs();
+        assert!(imp < 3.0, "li software improvement should be tiny, got {imp:.2}%");
+    }
+
+    #[test]
+    fn miss_rates_reported() {
+        let e = exp(AssistKind::None);
+        let r = e.run(Benchmark::Vpenta, Scale::Tiny, Version::Base);
+        assert!(r.l1_miss_pct() > 5.0, "vpenta base L1 miss {:.1}%", r.l1_miss_pct());
+        assert!(r.l2_miss_pct() >= 0.0);
+    }
+
+    #[test]
+    fn prepare_is_deterministic() {
+        let e = exp(AssistKind::Victim);
+        let p = Benchmark::Swim.build(Scale::Tiny);
+        assert_eq!(e.prepare(&p, Version::Selective), e.prepare(&p, Version::Selective));
+    }
+}

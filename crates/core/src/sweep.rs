@@ -1,0 +1,135 @@
+//! Parameter sweeps: run the four versions across a family of machine
+//! configurations and collect the improvement series (the data behind the
+//! paper's sensitivity discussion in Section 5.1).
+
+use crate::config::MachineConfig;
+use crate::runner::{Experiment, Version};
+use selcache_mem::AssistKind;
+use selcache_workloads::{Benchmark, Scale};
+use std::fmt::Write as _;
+
+/// One sweep point: a parameter value and the four version improvements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// The swept parameter's value.
+    pub value: u64,
+    /// Improvements indexed like [`Version::REPORTED`].
+    pub improvements: [f64; 4],
+}
+
+/// A named sweep over one machine parameter for one benchmark.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sweep {
+    /// Parameter name (e.g. `"mem_latency"`).
+    pub parameter: &'static str,
+    /// Benchmark under test.
+    pub benchmark: Benchmark,
+    /// Points, in the order swept.
+    pub points: Vec<SweepPoint>,
+}
+
+impl Sweep {
+    /// Runs a sweep: `configure` maps each value to a machine.
+    pub fn run(
+        parameter: &'static str,
+        benchmark: Benchmark,
+        scale: Scale,
+        assist: AssistKind,
+        values: &[u64],
+        mut configure: impl FnMut(u64) -> MachineConfig,
+    ) -> Sweep {
+        let program = benchmark.build(scale);
+        let points = values
+            .iter()
+            .map(|&value| {
+                let exp = Experiment::new(configure(value), assist);
+                let base = exp.run_program(&program, Version::Base);
+                let mut improvements = [0.0; 4];
+                for (k, &v) in Version::REPORTED.iter().enumerate() {
+                    let prepared = exp.prepare(&program, v);
+                    improvements[k] =
+                        exp.run_program(&prepared, v).improvement_over(&base);
+                }
+                SweepPoint { value, improvements }
+            })
+            .collect();
+        Sweep { parameter, benchmark, points }
+    }
+
+    /// The selective-version series.
+    pub fn selective_series(&self) -> Vec<(u64, f64)> {
+        self.points.iter().map(|p| (p.value, p.improvements[3])).collect()
+    }
+
+    /// CSV rendering (`value,pure_hw,pure_sw,combined,selective`).
+    pub fn to_csv(&self) -> String {
+        let mut out = format!("{},pure_hw,pure_sw,combined,selective\n", self.parameter);
+        for p in &self.points {
+            let _ = writeln!(
+                out,
+                "{},{:.4},{:.4},{:.4},{:.4}",
+                p.value,
+                p.improvements[0],
+                p.improvements[1],
+                p.improvements[2],
+                p.improvements[3]
+            );
+        }
+        out
+    }
+}
+
+/// Convenience: sweep the main-memory latency.
+pub fn memory_latency_sweep(
+    benchmark: Benchmark,
+    scale: Scale,
+    assist: AssistKind,
+    latencies: &[u64],
+) -> Sweep {
+    Sweep::run("mem_latency", benchmark, scale, assist, latencies, |v| {
+        let mut m = MachineConfig::base();
+        m.mem.mem_latency = v;
+        m
+    })
+}
+
+/// Convenience: sweep the L1 associativity.
+pub fn l1_assoc_sweep(
+    benchmark: Benchmark,
+    scale: Scale,
+    assist: AssistKind,
+    ways: &[u64],
+) -> Sweep {
+    Sweep::run("l1_assoc", benchmark, scale, assist, ways, |v| {
+        let mut m = MachineConfig::base();
+        m.mem.l1d.assoc = v as u32;
+        m.mem.l1i.assoc = v as u32;
+        m
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_sweep_produces_points() {
+        let s = memory_latency_sweep(
+            Benchmark::TpcDQ6,
+            Scale::Tiny,
+            AssistKind::Bypass,
+            &[100, 200],
+        );
+        assert_eq!(s.points.len(), 2);
+        assert_eq!(s.points[0].value, 100);
+        assert_eq!(s.selective_series().len(), 2);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let s = l1_assoc_sweep(Benchmark::TpcDQ6, Scale::Tiny, AssistKind::Victim, &[2, 4]);
+        let csv = s.to_csv();
+        assert!(csv.starts_with("l1_assoc,pure_hw,pure_sw,combined,selective\n"));
+        assert_eq!(csv.lines().count(), 3);
+    }
+}

@@ -1,0 +1,444 @@
+//! The trace-driven out-of-order pipeline.
+//!
+//! Structure per simulated cycle: **commit** (in order, up to the commit
+//! width), **issue** (out of order from the RUU, bounded by issue width and
+//! memory ports; operands must be complete), **fetch/dispatch** (in order,
+//! bounded by fetch width, RUU and LSQ occupancy; branches consult the
+//! bimodal predictor and a misprediction blocks fetch until the branch
+//! resolves plus a refill penalty; instruction-cache misses stall fetch).
+//!
+//! Memory operations perform their hierarchy access at issue time; the
+//! access latency becomes the op's completion latency. `AssistOn`/`AssistOff`
+//! markers toggle the hierarchy's assist flag at dispatch (in program order
+//! with respect to all later dispatches) and cost one pipeline slot each —
+//! the instruction overhead the paper accounts for.
+
+use crate::config::{CpuConfig, CpuModel, PredictorKind};
+use crate::predictor::{Bimodal, Gshare, Predictor};
+use crate::stats::CpuStats;
+use selcache_ir::{OpKind, TraceOp};
+use selcache_mem::MemoryHierarchy;
+use std::collections::VecDeque;
+
+/// Completion-time ring size; dependence distances are clamped below this.
+const RING: usize = 1024;
+
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    seq: u64,
+    kind: OpKind,
+    dep_seq: Option<u64>,
+    issued: bool,
+    ready_at: u64,
+    is_mem: bool,
+}
+
+/// An out-of-order (or in-order, per [`CpuModel`]) processor pipeline.
+///
+/// ```
+/// use selcache_cpu::{CpuConfig, Pipeline};
+/// use selcache_ir::{OpKind, TraceOp};
+/// use selcache_mem::{AssistKind, HierarchyConfig, MemoryHierarchy};
+///
+/// let mut mem = MemoryHierarchy::new(HierarchyConfig::paper_base(AssistKind::None));
+/// let trace = (0..2000).map(|i| TraceOp::new(0x40_0000 + (i % 8) * 4, OpKind::IntAlu));
+/// let stats = Pipeline::new(CpuConfig::paper_base()).run(trace, &mut mem);
+/// assert_eq!(stats.committed, 2000);
+/// assert!(stats.ipc() > 1.0);
+/// ```
+#[derive(Debug)]
+pub struct Pipeline {
+    cfg: CpuConfig,
+    predictor: Predictor,
+    stats: CpuStats,
+    ruu: VecDeque<Slot>,
+    lsq_used: u32,
+    completion: Vec<u64>,
+    cycle: u64,
+    seq: u64,
+    fetch_resume: u64,
+    blocked_on: Option<u64>,
+    last_fetch_block: u64,
+    staged: Option<TraceOp>,
+    done_fetching: bool,
+}
+
+impl Pipeline {
+    /// Creates a pipeline with fresh predictor state.
+    pub fn new(cfg: CpuConfig) -> Self {
+        let predictor = match cfg.predictor {
+            PredictorKind::Bimodal => Predictor::Bimodal(Bimodal::new(cfg.predictor_entries)),
+            PredictorKind::Gshare => Predictor::Gshare(Gshare::new(cfg.predictor_entries)),
+        };
+        Pipeline {
+            predictor,
+            stats: CpuStats::default(),
+            ruu: VecDeque::with_capacity(cfg.ruu_entries as usize),
+            lsq_used: 0,
+            completion: vec![u64::MAX; RING],
+            cycle: 0,
+            seq: 0,
+            fetch_resume: 0,
+            blocked_on: None,
+            last_fetch_block: u64::MAX,
+            staged: None,
+            done_fetching: false,
+            cfg,
+        }
+    }
+
+    /// Runs the given trace to completion against `mem` and returns the
+    /// accumulated statistics. The pipeline can be reused for another trace;
+    /// predictor and statistics carry over (create a new [`Pipeline`] for an
+    /// independent run).
+    pub fn run(
+        &mut self,
+        trace: impl IntoIterator<Item = TraceOp>,
+        mem: &mut MemoryHierarchy,
+    ) -> CpuStats {
+        let mut trace = trace.into_iter();
+        self.done_fetching = false;
+        while !(self.done_fetching && self.ruu.is_empty() && self.staged.is_none()) {
+            self.commit();
+            self.issue(mem);
+            self.fetch(&mut trace, mem);
+            self.cycle += 1;
+        }
+        self.stats.cycles = self.cycle;
+        self.stats
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &CpuStats {
+        &self.stats
+    }
+
+    /// Branch-predictor accuracy so far.
+    pub fn predictor_accuracy(&self) -> f64 {
+        self.predictor.accuracy()
+    }
+
+    fn commit(&mut self) {
+        let mut n = 0;
+        while n < self.cfg.commit_width {
+            let Some(front) = self.ruu.front() else {
+                break;
+            };
+            if !front.issued || front.ready_at > self.cycle {
+                break;
+            }
+            let slot = self.ruu.pop_front().expect("front exists");
+            if slot.is_mem {
+                self.lsq_used -= 1;
+            }
+            self.stats.committed += 1;
+            match slot.kind {
+                OpKind::IntAlu => self.stats.int_ops += 1,
+                OpKind::FpAlu => self.stats.fp_ops += 1,
+                OpKind::Load(_) => self.stats.loads += 1,
+                OpKind::Store(_) => self.stats.stores += 1,
+                OpKind::Branch { .. } => self.stats.branches += 1,
+                OpKind::AssistOn | OpKind::AssistOff => self.stats.assist_toggles += 1,
+            }
+            n += 1;
+        }
+    }
+
+    fn issue(&mut self, mem: &mut MemoryHierarchy) {
+        let in_order = self.cfg.model == CpuModel::InOrder;
+        let mut issued = 0;
+        let mut mem_issued = 0;
+        let mut int_issued = 0;
+        let mut fp_issued = 0;
+        let cycle = self.cycle;
+        let mut resolved_block: Option<u64> = None;
+        for slot in self.ruu.iter_mut() {
+            if issued == self.cfg.issue_width {
+                break;
+            }
+            if slot.issued {
+                continue;
+            }
+            let deps_ready = match slot.dep_seq {
+                None => true,
+                Some(d) => self.completion[(d % RING as u64) as usize] <= cycle,
+            };
+            if !deps_ready {
+                if in_order {
+                    break;
+                }
+                continue;
+            }
+            let unit_free = match slot.kind {
+                OpKind::Load(_) | OpKind::Store(_) => mem_issued < self.cfg.mem_ports,
+                OpKind::FpAlu => fp_issued < self.cfg.fp_units,
+                _ => int_issued < self.cfg.int_units,
+            };
+            if !unit_free {
+                if in_order {
+                    break;
+                }
+                continue;
+            }
+            let latency = match slot.kind {
+                OpKind::IntAlu | OpKind::AssistOn | OpKind::AssistOff => self.cfg.int_latency,
+                OpKind::Branch { .. } => self.cfg.int_latency,
+                OpKind::FpAlu => self.cfg.fp_latency,
+                OpKind::Load(a) => mem.data_access(a, false, cycle),
+                OpKind::Store(a) => mem.data_access(a, true, cycle),
+            };
+            slot.issued = true;
+            slot.ready_at = cycle + latency;
+            self.completion[(slot.seq % RING as u64) as usize] = slot.ready_at;
+            match slot.kind {
+                OpKind::Load(_) | OpKind::Store(_) => mem_issued += 1,
+                OpKind::FpAlu => fp_issued += 1,
+                _ => int_issued += 1,
+            }
+            issued += 1;
+            if self.blocked_on == Some(slot.seq) {
+                resolved_block = Some(slot.ready_at + self.cfg.mispredict_penalty);
+            }
+        }
+        if let Some(resume) = resolved_block {
+            self.blocked_on = None;
+            self.fetch_resume = self.fetch_resume.max(resume);
+        }
+        if issued == 0 && !self.ruu.is_empty() {
+            self.stats.issue_stall_cycles += 1;
+        }
+    }
+
+    fn fetch(&mut self, trace: &mut impl Iterator<Item = TraceOp>, mem: &mut MemoryHierarchy) {
+        if self.done_fetching && self.staged.is_none() {
+            return;
+        }
+        if self.blocked_on.is_some() || self.cycle < self.fetch_resume {
+            self.stats.fetch_stall_cycles += 1;
+            return;
+        }
+        let mut fetched = 0;
+        while fetched < self.cfg.fetch_width {
+            if self.ruu.len() == self.cfg.ruu_entries as usize {
+                break;
+            }
+            let op = match self.staged.take().or_else(|| trace.next()) {
+                Some(op) => op,
+                None => {
+                    self.done_fetching = true;
+                    break;
+                }
+            };
+            let is_mem = op.kind.is_mem();
+            if is_mem && self.lsq_used == self.cfg.lsq_entries {
+                self.staged = Some(op);
+                break;
+            }
+            // Instruction fetch for a new fetch block.
+            let fb = op.pc / self.cfg.fetch_block;
+            if fb != self.last_fetch_block {
+                self.last_fetch_block = fb;
+                let lat = mem.inst_fetch(op.pc, self.cycle);
+                if lat > 0 {
+                    self.fetch_resume = self.cycle + lat;
+                }
+            }
+            match op.kind {
+                OpKind::Branch { taken } => {
+                    let correct = self.predictor.update(op.pc, taken);
+                    if !correct {
+                        self.stats.mispredicts += 1;
+                        self.blocked_on = Some(self.seq);
+                    }
+                }
+                OpKind::AssistOn => mem.set_assist_enabled(true),
+                OpKind::AssistOff => mem.set_assist_enabled(false),
+                _ => {}
+            }
+            let dep_seq = if op.dep == 0 || (op.dep as u64) > self.seq || op.dep as usize >= RING {
+                None
+            } else {
+                Some(self.seq - op.dep as u64)
+            };
+            self.completion[(self.seq % RING as u64) as usize] = u64::MAX;
+            self.ruu.push_back(Slot {
+                seq: self.seq,
+                kind: op.kind,
+                dep_seq,
+                issued: false,
+                ready_at: 0,
+                is_mem,
+            });
+            if is_mem {
+                self.lsq_used += 1;
+            }
+            self.seq += 1;
+            fetched += 1;
+            if self.blocked_on.is_some() || self.cycle < self.fetch_resume {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use selcache_ir::Addr;
+    use selcache_mem::{AssistKind, HierarchyConfig};
+
+    fn mem() -> MemoryHierarchy {
+        MemoryHierarchy::new(HierarchyConfig::paper_base(AssistKind::None))
+    }
+
+    fn run(ops: Vec<TraceOp>) -> CpuStats {
+        let mut m = mem();
+        Pipeline::new(CpuConfig::paper_base()).run(ops, &mut m)
+    }
+
+    fn alu(pc: u64) -> TraceOp {
+        TraceOp::new(pc, OpKind::IntAlu)
+    }
+
+    #[test]
+    fn empty_trace_finishes() {
+        let s = run(vec![]);
+        assert_eq!(s.committed, 0);
+        assert!(s.cycles <= 2);
+    }
+
+    #[test]
+    fn independent_alus_reach_issue_width() {
+        // 4000 independent ALU ops in one fetch-block neighborhood (long
+        // enough to amortize the cold I-cache miss).
+        let ops: Vec<_> = (0..4000).map(|i| alu(0x40_0000 + (i % 8) * 4)).collect();
+        let s = run(ops);
+        assert_eq!(s.committed, 4000);
+        // 4-wide machine: should sustain close to 4 IPC after warmup.
+        assert!(s.ipc() > 2.5, "ipc {}", s.ipc());
+    }
+
+    #[test]
+    fn dependent_chain_serializes() {
+        let ops: Vec<_> = (0..400)
+            .map(|i| TraceOp::with_dep(0x40_0000, OpKind::IntAlu, u16::from(i > 0)))
+            .collect();
+        let s = run(ops);
+        // Fully serial chain: at most ~1 IPC.
+        assert!(s.ipc() < 1.2, "ipc {}", s.ipc());
+    }
+
+    #[test]
+    fn fp_latency_slows_dependent_chain() {
+        let int_ops: Vec<_> = (0..200)
+            .map(|_| TraceOp::with_dep(0x40_0000, OpKind::IntAlu, 1))
+            .collect();
+        let fp_ops: Vec<_> = (0..200)
+            .map(|_| TraceOp::with_dep(0x40_0000, OpKind::FpAlu, 1))
+            .collect();
+        let si = run(int_ops);
+        let sf = run(fp_ops);
+        assert!(sf.cycles > si.cycles * 2, "fp {} int {}", sf.cycles, si.cycles);
+    }
+
+    #[test]
+    fn independent_loads_overlap_misses() {
+        // 8 loads to distinct L2 blocks: independent -> overlapped misses.
+        let indep: Vec<_> = (0..8u64)
+            .map(|i| TraceOp::new(0x40_0000, OpKind::Load(Addr(0x1000_0000 + i * 4096))))
+            .collect();
+        let dep: Vec<_> = (0..8u64)
+            .map(|i| {
+                TraceOp::with_dep(0x40_0000, OpKind::Load(Addr(0x2000_0000 + i * 4096)), u16::from(i > 0))
+            })
+            .collect();
+        let si = run(indep);
+        let sd = run(dep);
+        assert!(
+            sd.cycles > si.cycles * 2,
+            "dependent {} independent {}",
+            sd.cycles,
+            si.cycles
+        );
+    }
+
+    #[test]
+    fn mispredicted_branch_costs_cycles() {
+        // Alternating branch directions defeat the bimodal predictor.
+        let flaky: Vec<_> = (0..200)
+            .map(|i| TraceOp::new(0x40_0000, OpKind::Branch { taken: i % 2 == 0 }))
+            .collect();
+        let steady: Vec<_> = (0..200)
+            .map(|_| TraceOp::new(0x40_0000, OpKind::Branch { taken: true }))
+            .collect();
+        let sf = run(flaky);
+        let ss = run(steady);
+        assert!(sf.mispredicts > 50);
+        assert!(ss.mispredicts < 5);
+        assert!(sf.cycles > ss.cycles);
+        assert!(sf.fetch_stall_cycles > 0);
+    }
+
+    #[test]
+    fn assist_markers_toggle_hierarchy() {
+        let mut m = MemoryHierarchy::new(HierarchyConfig::paper_base(AssistKind::Victim));
+        assert!(m.assist_enabled());
+        let ops = vec![TraceOp::new(0x40_0000, OpKind::AssistOff), alu(0x40_0004)];
+        let s = Pipeline::new(CpuConfig::paper_base()).run(ops, &mut m);
+        assert!(!m.assist_enabled());
+        assert_eq!(s.assist_toggles, 1);
+        let ops = vec![TraceOp::new(0x40_0000, OpKind::AssistOn)];
+        Pipeline::new(CpuConfig::paper_base()).run(ops, &mut m);
+        assert!(m.assist_enabled());
+    }
+
+    #[test]
+    fn lsq_limits_outstanding_memory_ops() {
+        // More loads than LSQ entries; all must still commit.
+        let ops: Vec<_> = (0..100u64)
+            .map(|i| TraceOp::new(0x40_0000, OpKind::Load(Addr(0x1000_0000 + i * 8))))
+            .collect();
+        let s = run(ops);
+        assert_eq!(s.loads, 100);
+        assert_eq!(s.committed, 100);
+    }
+
+    #[test]
+    fn in_order_model_is_slower_on_mixed_trace() {
+        // Each load feeds two dependent ALUs: in-order issue blocks on the
+        // pending load and cannot overlap the next miss; out-of-order can.
+        let mk = || {
+            (0..64u64).flat_map(|i| {
+                vec![
+                    TraceOp::new(0x40_0000, OpKind::Load(Addr(0x1000_0000 + i * 4096))),
+                    TraceOp::with_dep(0x40_0004, OpKind::IntAlu, 1),
+                    TraceOp::with_dep(0x40_0008, OpKind::IntAlu, 1),
+                ]
+            })
+        };
+        let mut m1 = mem();
+        let ooo = Pipeline::new(CpuConfig::paper_base()).run(mk(), &mut m1);
+        let mut m2 = mem();
+        let mut cfg = CpuConfig::paper_base();
+        cfg.model = CpuModel::InOrder;
+        let ino = Pipeline::new(cfg).run(mk(), &mut m2);
+        assert!(ino.cycles > ooo.cycles, "in-order {} ooo {}", ino.cycles, ooo.cycles);
+    }
+
+    #[test]
+    fn stats_partition_by_kind() {
+        let ops = vec![
+            alu(0x40_0000),
+            TraceOp::new(0x40_0004, OpKind::FpAlu),
+            TraceOp::new(0x40_0008, OpKind::Load(Addr(0x1000_0000))),
+            TraceOp::new(0x40_000C, OpKind::Store(Addr(0x1000_0008))),
+            TraceOp::new(0x40_0010, OpKind::Branch { taken: true }),
+        ];
+        let s = run(ops);
+        assert_eq!(s.committed, 5);
+        assert_eq!(
+            (s.int_ops, s.fp_ops, s.loads, s.stores, s.branches),
+            (1, 1, 1, 1, 1)
+        );
+    }
+}

@@ -1,0 +1,124 @@
+//! Structural timing bounds: the pipeline can never beat its widths and
+//! never loses instructions, under randomized traces.
+
+use proptest::prelude::*;
+use selcache_cpu::{CpuConfig, CpuModel, Pipeline};
+use selcache_ir::{Addr, OpKind, TraceOp};
+use selcache_mem::{AssistKind, HierarchyConfig, MemoryHierarchy};
+
+fn random_trace(seed: u64, len: usize) -> Vec<TraceOp> {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state
+    };
+    (0..len)
+        .map(|k| {
+            let r = next();
+            let pc = 0x40_0000 + (r % 64) * 4;
+            let dep = ((r >> 8) % 4) as u16;
+            let kind = match (r >> 16) % 10 {
+                0 | 1 => OpKind::Load(Addr((0x1000_0000 + (next() >> 20) % (1 << 20)) & !7)),
+                2 => OpKind::Store(Addr((0x1000_0000 + (next() >> 20) % (1 << 20)) & !7)),
+                3 => OpKind::FpAlu,
+                4 => OpKind::Branch { taken: (r >> 40) % 3 != 0 },
+                5 if k % 100 == 7 => OpKind::AssistOn,
+                6 if k % 100 == 53 => OpKind::AssistOff,
+                _ => OpKind::IntAlu,
+            };
+            TraceOp::with_dep(pc, kind, dep)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every instruction commits exactly once; IPC never exceeds the issue
+    /// width; cycle count is at least ops / width.
+    #[test]
+    fn commits_everything_within_width_bounds(seed in any::<u64>()) {
+        let trace = random_trace(seed, 3000);
+        let mut mem = MemoryHierarchy::new(HierarchyConfig::paper_base(AssistKind::Bypass));
+        let cfg = CpuConfig::paper_base();
+        let stats = Pipeline::new(cfg).run(trace.iter().copied(), &mut mem);
+        prop_assert_eq!(stats.committed, 3000);
+        prop_assert!(stats.ipc() <= cfg.issue_width as f64 + 1e-9);
+        prop_assert!(stats.cycles >= 3000 / cfg.issue_width as u64);
+        let by_kind = stats.int_ops + stats.fp_ops + stats.loads + stats.stores
+            + stats.branches + stats.assist_toggles;
+        prop_assert_eq!(by_kind, stats.committed);
+    }
+
+    /// The in-order model is never faster than out-of-order on the same
+    /// trace and memory configuration.
+    #[test]
+    fn in_order_never_beats_out_of_order(seed in any::<u64>()) {
+        let trace = random_trace(seed, 2000);
+        let run = |model| {
+            let mut mem = MemoryHierarchy::new(HierarchyConfig::paper_base(AssistKind::None));
+            let mut cfg = CpuConfig::paper_base();
+            cfg.model = model;
+            Pipeline::new(cfg).run(trace.iter().copied(), &mut mem).cycles
+        };
+        prop_assert!(run(CpuModel::InOrder) >= run(CpuModel::OutOfOrder));
+    }
+
+    /// A narrower machine is never faster on compute-only traces. (With
+    /// memory in the loop, issue-order changes perturb cache and DRAM
+    /// row-buffer state, so classic scheduling anomalies can make the
+    /// narrow machine faster — the property is only sound without state.)
+    #[test]
+    fn narrower_issue_is_never_faster_on_compute(seed in any::<u64>()) {
+        let trace: Vec<TraceOp> = random_trace(seed, 2000)
+            .into_iter()
+            .map(|op| match op.kind {
+                OpKind::Load(_) | OpKind::Store(_) => TraceOp::with_dep(op.pc, OpKind::FpAlu, op.dep),
+                _ => op,
+            })
+            .collect();
+        let run = |width: u32| {
+            let mut mem = MemoryHierarchy::new(HierarchyConfig::paper_base(AssistKind::None));
+            let mut cfg = CpuConfig::paper_base();
+            cfg.issue_width = width;
+            cfg.fetch_width = width;
+            cfg.commit_width = width;
+            Pipeline::new(cfg).run(trace.iter().copied(), &mut mem).cycles
+        };
+        prop_assert!(run(1) >= run(4));
+    }
+
+    /// Mispredicts are bounded by branches; the run is deterministic.
+    #[test]
+    fn deterministic_and_mispredicts_bounded(seed in any::<u64>()) {
+        let trace = random_trace(seed, 2000);
+        let run = || {
+            let mut mem = MemoryHierarchy::new(HierarchyConfig::paper_base(AssistKind::Victim));
+            Pipeline::new(CpuConfig::paper_base()).run(trace.iter().copied(), &mut mem)
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a, b);
+        prop_assert!(a.mispredicts <= a.branches);
+    }
+}
+
+#[test]
+fn assist_toggle_order_is_program_order() {
+    // ON at dispatch means a later load in program order always sees the
+    // toggled state, even across pipeline boundaries.
+    let mut ops = Vec::new();
+    for k in 0..50u64 {
+        ops.push(TraceOp::new(0x40_0000, OpKind::Load(Addr(0x1000_0000 + k * 8192))));
+    }
+    ops.push(TraceOp::new(0x40_0100, OpKind::AssistOff));
+    for k in 0..50u64 {
+        ops.push(TraceOp::new(0x40_0200, OpKind::Load(Addr(0x2000_0000 + k * 8192))));
+    }
+    let mut mem = MemoryHierarchy::new(HierarchyConfig::paper_base(AssistKind::Bypass));
+    let stats = Pipeline::new(CpuConfig::paper_base()).run(ops, &mut mem);
+    assert_eq!(stats.assist_toggles, 1);
+    assert!(!mem.assist_enabled());
+    // Only the first 50 loads could be observed by the assist.
+    assert!(mem.stats().assist.assisted_accesses <= 50 + 4, "assist observed too many accesses");
+}

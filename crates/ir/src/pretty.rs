@@ -1,0 +1,137 @@
+//! Human-readable dump of a [`Program`] for debugging compiler passes.
+
+use crate::program::{Item, Marker, Program, RefPattern, Stmt};
+use std::fmt::Write as _;
+
+/// Renders the program as indented pseudo-code.
+///
+/// ```
+/// use selcache_ir::{pretty, ProgramBuilder, Subscript};
+/// let mut b = ProgramBuilder::new("t");
+/// let a = b.array("A", &[4], 8);
+/// b.loop_(4, |b, i| {
+///     b.stmt(|s| { s.read(a, vec![Subscript::var(i)]); });
+/// });
+/// let text = pretty(&b.finish().expect("valid"));
+/// assert!(text.contains("for v0 in 0..4"));
+/// ```
+pub fn pretty(program: &Program) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "program {} ({} arrays)", program.name, program.arrays.len());
+    for (i, a) in program.arrays.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  array a{i} {:?} dims={:?} elem={} layout={:?}{}",
+            a.name,
+            a.dims,
+            a.elem_size,
+            a.layout,
+            if a.data.is_some() { " (data)" } else { "" }
+        );
+    }
+    fn items(out: &mut String, list: &[Item], depth: usize) {
+        let pad = "  ".repeat(depth + 1);
+        for item in list {
+            match item {
+                Item::Loop(l) => {
+                    match l.trip {
+                        crate::program::Trip::Const(n) => {
+                            let _ = writeln!(out, "{pad}for {} in 0..{n} {{", l.var);
+                        }
+                        crate::program::Trip::TileTail { total, tile, outer } => {
+                            let _ = writeln!(
+                                out,
+                                "{pad}for {} in 0..min({tile}, {total}-{tile}*{outer}) {{",
+                                l.var
+                            );
+                        }
+                    }
+                    items(out, &l.body, depth + 1);
+                    let _ = writeln!(out, "{pad}}}");
+                }
+                Item::Block(stmts) => {
+                    for s in stmts {
+                        stmt(out, s, &pad);
+                    }
+                }
+                Item::Marker(Marker::On) => {
+                    let _ = writeln!(out, "{pad}ASSIST_ON");
+                }
+                Item::Marker(Marker::Off) => {
+                    let _ = writeln!(out, "{pad}ASSIST_OFF");
+                }
+            }
+        }
+    }
+    fn stmt(out: &mut String, s: &Stmt, pad: &str) {
+        let mut parts = Vec::new();
+        for r in &s.refs {
+            let dir = if r.write { "st" } else { "ld" };
+            let p = match &r.pattern {
+                RefPattern::Scalar(sc) => format!("{dir} {sc}"),
+                RefPattern::Array { array, subscripts } => {
+                    let subs: Vec<String> = subscripts.iter().map(|x| x.to_string()).collect();
+                    format!("{dir} {array}[{}]", subs.join("]["))
+                }
+                RefPattern::Pointer { heap, next, field_offset } => {
+                    format!("{dir} chase({heap} via {next})+{field_offset}")
+                }
+                RefPattern::StructField { array, index, field_offset } => {
+                    format!("{dir} {array}[{index}].+{field_offset}")
+                }
+            };
+            parts.push(p);
+        }
+        if s.int_ops > 0 {
+            parts.push(format!("int*{}", s.int_ops));
+        }
+        if s.fp_ops > 0 {
+            parts.push(format!("fp*{}", s.fp_ops));
+        }
+        let _ = writeln!(out, "{pad}{};", parts.join(", "));
+    }
+    items(&mut out, &program.items, 0);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::expr::Subscript;
+
+    #[test]
+    fn renders_nest_and_markers() {
+        let mut b = ProgramBuilder::new("demo");
+        let a = b.array("A", &[4, 4], 8);
+        b.marker(Marker::On);
+        b.nest2(4, 4, |b, i, j| {
+            b.stmt(|s| {
+                s.read(a, vec![Subscript::var(i), Subscript::var(j)]).fp(2);
+            });
+        });
+        b.marker(Marker::Off);
+        let text = pretty(&b.finish().unwrap());
+        assert!(text.contains("ASSIST_ON"));
+        assert!(text.contains("ASSIST_OFF"));
+        assert!(text.contains("for v0 in 0..4"));
+        assert!(text.contains("ld a0[v0][v1]"));
+        assert!(text.contains("fp*2"));
+    }
+
+    #[test]
+    fn renders_pointer_and_scalar() {
+        let mut b = ProgramBuilder::new("demo");
+        let h = b.array("H", &[4], 16);
+        let n = b.data_array("N", vec![1, 2, 3, 0], 8);
+        let sc = b.scalar();
+        b.loop_(2, |b, _| {
+            b.stmt(|s| {
+                s.chase(h, n, 0).write_scalar(sc);
+            });
+        });
+        let text = pretty(&b.finish().unwrap());
+        assert!(text.contains("chase(a0 via a1)"));
+        assert!(text.contains("st s0"));
+    }
+}

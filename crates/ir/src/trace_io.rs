@@ -1,0 +1,291 @@
+//! Compact binary trace serialization.
+//!
+//! Traces can be captured once and replayed into many simulator
+//! configurations (the trace-driven methodology SimpleScalar's EIO files
+//! support). The format is a delta/varint encoding: one tag byte per op,
+//! PCs and addresses as zig-zag deltas against the previous value of the
+//! same kind — long runs of sequential accesses compress to ~2 bytes/op.
+
+use crate::ids::Addr;
+use crate::trace::{OpKind, TraceOp};
+use std::io::{self, Read, Write};
+
+const TAG_INT: u8 = 0;
+const TAG_FP: u8 = 1;
+const TAG_LOAD: u8 = 2;
+const TAG_STORE: u8 = 3;
+const TAG_BR_TAKEN: u8 = 4;
+const TAG_BR_NOT: u8 = 5;
+const TAG_ON: u8 = 6;
+const TAG_OFF: u8 = 7;
+
+/// Magic header identifying the format.
+pub const TRACE_MAGIC: &[u8; 8] = b"SELCTRC1";
+
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+fn write_varint(w: &mut impl Write, mut v: u64) -> io::Result<()> {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            return w.write_all(&[byte]);
+        }
+        w.write_all(&[byte | 0x80])?;
+    }
+}
+
+fn read_varint(r: &mut impl Read) -> io::Result<u64> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let mut byte = [0u8];
+        r.read_exact(&mut byte)?;
+        v |= u64::from(byte[0] & 0x7F) << shift;
+        if byte[0] & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+        if shift >= 64 {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "varint too long"));
+        }
+    }
+}
+
+/// Streaming trace writer.
+///
+/// ```
+/// use selcache_ir::{TraceWriter, TraceReader, TraceOp, OpKind, Addr};
+///
+/// let mut buf = Vec::new();
+/// let mut w = TraceWriter::new(&mut buf)?;
+/// w.write(&TraceOp::new(0x40_0000, OpKind::Load(Addr(0x1000))))?;
+/// w.write(&TraceOp::with_dep(0x40_0004, OpKind::FpAlu, 1))?;
+/// w.finish()?;
+///
+/// let ops: Vec<TraceOp> = TraceReader::new(&buf[..])?.collect::<Result<_, _>>()?;
+/// assert_eq!(ops.len(), 2);
+/// assert_eq!(ops[0].kind, OpKind::Load(Addr(0x1000)));
+/// # Ok::<(), std::io::Error>(())
+/// ```
+#[derive(Debug)]
+pub struct TraceWriter<W: Write> {
+    out: W,
+    last_pc: u64,
+    last_addr: u64,
+    count: u64,
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Creates a writer and emits the header.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying writer.
+    pub fn new(mut out: W) -> io::Result<Self> {
+        out.write_all(TRACE_MAGIC)?;
+        Ok(TraceWriter { out, last_pc: 0, last_addr: 0, count: 0 })
+    }
+
+    /// Appends one op.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying writer.
+    pub fn write(&mut self, op: &TraceOp) -> io::Result<()> {
+        let (tag, addr) = match op.kind {
+            OpKind::IntAlu => (TAG_INT, None),
+            OpKind::FpAlu => (TAG_FP, None),
+            OpKind::Load(a) => (TAG_LOAD, Some(a.0)),
+            OpKind::Store(a) => (TAG_STORE, Some(a.0)),
+            OpKind::Branch { taken: true } => (TAG_BR_TAKEN, None),
+            OpKind::Branch { taken: false } => (TAG_BR_NOT, None),
+            OpKind::AssistOn => (TAG_ON, None),
+            OpKind::AssistOff => (TAG_OFF, None),
+        };
+        self.out.write_all(&[tag])?;
+        write_varint(&mut self.out, zigzag(op.pc as i64 - self.last_pc as i64))?;
+        self.last_pc = op.pc;
+        write_varint(&mut self.out, u64::from(op.dep))?;
+        if let Some(a) = addr {
+            write_varint(&mut self.out, zigzag(a as i64 - self.last_addr as i64))?;
+            self.last_addr = a;
+        }
+        self.count += 1;
+        Ok(())
+    }
+
+    /// Ops written so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Flushes and returns the underlying writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the flush.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}
+
+/// Streaming trace reader; iterates `io::Result<TraceOp>`.
+#[derive(Debug)]
+pub struct TraceReader<R: Read> {
+    input: R,
+    last_pc: u64,
+    last_addr: u64,
+}
+
+impl<R: Read> TraceReader<R> {
+    /// Creates a reader, checking the header.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors or a bad magic header.
+    pub fn new(mut input: R) -> io::Result<Self> {
+        let mut magic = [0u8; 8];
+        input.read_exact(&mut magic)?;
+        if &magic != TRACE_MAGIC {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "not a selcache trace"));
+        }
+        Ok(TraceReader { input, last_pc: 0, last_addr: 0 })
+    }
+
+    fn read_op(&mut self) -> io::Result<Option<TraceOp>> {
+        let mut tag = [0u8];
+        if self.input.read(&mut tag)? == 0 { return Ok(None) }
+        let pc_delta = unzigzag(read_varint(&mut self.input)?);
+        let pc = (self.last_pc as i64 + pc_delta) as u64;
+        self.last_pc = pc;
+        let dep = read_varint(&mut self.input)? as u16;
+        let kind = match tag[0] {
+            TAG_INT => OpKind::IntAlu,
+            TAG_FP => OpKind::FpAlu,
+            TAG_LOAD | TAG_STORE => {
+                let delta = unzigzag(read_varint(&mut self.input)?);
+                let a = (self.last_addr as i64 + delta) as u64;
+                self.last_addr = a;
+                if tag[0] == TAG_LOAD {
+                    OpKind::Load(Addr(a))
+                } else {
+                    OpKind::Store(Addr(a))
+                }
+            }
+            TAG_BR_TAKEN => OpKind::Branch { taken: true },
+            TAG_BR_NOT => OpKind::Branch { taken: false },
+            TAG_ON => OpKind::AssistOn,
+            TAG_OFF => OpKind::AssistOff,
+            t => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("unknown op tag {t}"),
+                ))
+            }
+        };
+        Ok(Some(TraceOp { pc, kind, dep }))
+    }
+}
+
+impl<R: Read> Iterator for TraceReader<R> {
+    type Item = io::Result<TraceOp>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.read_op().transpose()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::expr::Subscript;
+    use crate::interp::Interp;
+
+    fn roundtrip(ops: &[TraceOp]) -> Vec<TraceOp> {
+        let mut buf = Vec::new();
+        let mut w = TraceWriter::new(&mut buf).unwrap();
+        for op in ops {
+            w.write(op).unwrap();
+        }
+        assert_eq!(w.count(), ops.len() as u64);
+        w.finish().unwrap();
+        TraceReader::new(&buf[..]).unwrap().map(|r| r.unwrap()).collect()
+    }
+
+    #[test]
+    fn roundtrip_all_op_kinds() {
+        let ops = vec![
+            TraceOp::new(0x40_0000, OpKind::IntAlu),
+            TraceOp::with_dep(0x40_0004, OpKind::FpAlu, 1),
+            TraceOp::new(0x40_0008, OpKind::Load(Addr(0x1234_5678))),
+            TraceOp::with_dep(0x40_000C, OpKind::Store(Addr(0x1234_5680)), 3),
+            TraceOp::new(0x40_0010, OpKind::Branch { taken: true }),
+            TraceOp::new(0x40_0010, OpKind::Branch { taken: false }),
+            TraceOp::new(0x40_0014, OpKind::AssistOn),
+            TraceOp::new(0x40_0018, OpKind::AssistOff),
+        ];
+        assert_eq!(roundtrip(&ops), ops);
+    }
+
+    #[test]
+    fn roundtrip_full_program_trace() {
+        let mut b = ProgramBuilder::new("t");
+        let a = b.array("A", &[128, 16], 8);
+        b.nest2(128, 16, |b, i, j| {
+            b.stmt(|s| {
+                s.read(a, vec![Subscript::var(j), Subscript::var(i)])
+                    .fp(1)
+                    .write(a, vec![Subscript::var(i), Subscript::var(j)]);
+            });
+        });
+        let p = b.finish().unwrap();
+        let ops: Vec<TraceOp> = Interp::new(&p).collect();
+        assert_eq!(roundtrip(&ops), ops);
+    }
+
+    #[test]
+    fn sequential_trace_compresses_well() {
+        let ops: Vec<TraceOp> = (0..10_000u64)
+            .map(|i| TraceOp::new(0x40_0000, OpKind::Load(Addr(0x1000_0000 + i * 8))))
+            .collect();
+        let mut buf = Vec::new();
+        let mut w = TraceWriter::new(&mut buf).unwrap();
+        for op in &ops {
+            w.write(op).unwrap();
+        }
+        w.finish().unwrap();
+        assert!(
+            buf.len() < ops.len() * 5,
+            "sequential trace should compress: {} bytes for {} ops",
+            buf.len(),
+            ops.len()
+        );
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let buf = b"NOTTRACE".to_vec();
+        assert!(TraceReader::new(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn truncated_stream_errors() {
+        let ops = [TraceOp::new(0x40_0000, OpKind::Load(Addr(0x1000)))];
+        let mut buf = Vec::new();
+        let mut w = TraceWriter::new(&mut buf).unwrap();
+        w.write(&ops[0]).unwrap();
+        w.finish().unwrap();
+        buf.truncate(buf.len() - 1);
+        let results: Vec<_> = TraceReader::new(&buf[..]).unwrap().collect();
+        assert!(results.last().unwrap().is_err());
+    }
+}

@@ -1,0 +1,184 @@
+//! Integration tests for trace generation: address math across layouts,
+//! dependence encoding, PC stability, and marker placement.
+
+use selcache_ir::{
+    AffineExpr, Interp, Layout, OpKind, ProgramBuilder, Subscript, TEXT_BASE,
+};
+
+#[test]
+fn row_major_2d_addresses_are_exact() {
+    let mut b = ProgramBuilder::new("t");
+    let a = b.array("A", &[10, 20], 8);
+    b.nest2(3, 4, |b, i, j| {
+        b.stmt(|s| {
+            s.read(a, vec![Subscript::var(i), Subscript::var(j)]);
+        });
+    });
+    let p = b.finish().unwrap();
+    let base = p.address_map().array_base(selcache_ir::ArrayId(0)).0;
+    let addrs: Vec<u64> = Interp::new(&p).filter_map(|o| o.kind.addr().map(|a| a.0)).collect();
+    let mut expect = Vec::new();
+    for i in 0..3u64 {
+        for j in 0..4u64 {
+            expect.push(base + (i * 20 + j) * 8);
+        }
+    }
+    assert_eq!(addrs, expect);
+}
+
+#[test]
+fn permuted_3d_layout_addresses_are_exact() {
+    let mut b = ProgramBuilder::new("t");
+    let a = b.array("A", &[4, 5, 6], 8);
+    b.nest3(2, 2, 2, |b, i, j, k| {
+        b.stmt(|s| {
+            s.read(a, vec![Subscript::var(i), Subscript::var(j), Subscript::var(k)]);
+        });
+    });
+    let mut p = b.finish().unwrap();
+    // Store dimension 0 fastest: perm[k] = storage position of source dim k.
+    p.arrays[0].layout = Layout::Permuted(vec![2, 0, 1]);
+    let base = p.address_map().array_base(selcache_ir::ArrayId(0)).0;
+    let addrs: Vec<u64> = Interp::new(&p).filter_map(|o| o.kind.addr().map(|a| a.0)).collect();
+    // Storage order: position 0 = dim 1 (extent 5), position 1 = dim 2
+    // (extent 6), position 2 = dim 0 (extent 4, fastest).
+    let lin = |i: u64, j: u64, k: u64| ((j * 6 + k) * 4 + i) * 8;
+    let mut expect = Vec::new();
+    for i in 0..2u64 {
+        for j in 0..2u64 {
+            for k in 0..2u64 {
+                expect.push(base + lin(i, j, k));
+            }
+        }
+    }
+    assert_eq!(addrs, expect);
+}
+
+#[test]
+fn negative_coefficients_walk_backwards() {
+    let mut b = ProgramBuilder::new("t");
+    let a = b.array("A", &[16], 8);
+    b.loop_(4, |b, i| {
+        b.stmt(|s| {
+            s.read(a, vec![Subscript::linear(i, -1, 10)]);
+        });
+    });
+    let p = b.finish().unwrap();
+    let addrs: Vec<u64> = Interp::new(&p).filter_map(|o| o.kind.addr().map(|a| a.0)).collect();
+    for w in addrs.windows(2) {
+        assert_eq!(w[0] - w[1], 8, "addresses must descend by 8");
+    }
+}
+
+#[test]
+fn gather_dependence_chain_is_encoded() {
+    let mut b = ProgramBuilder::new("t");
+    let x = b.array("X", &[64], 8);
+    let ip = b.data_array("IP", (0..64).collect(), 4);
+    b.loop_(8, |b, i| {
+        b.stmt(|s| {
+            s.gather(x, ip, AffineExpr::var(i), 0).fp(2);
+        });
+    });
+    let p = b.finish().unwrap();
+    let ops: Vec<_> = Interp::new(&p).collect();
+    // Per iteration: index load (dep 0), gather load (dep 1), fp (dep 1 on
+    // gather), fp (dep 1), incr, branch.
+    let gathers: Vec<_> = ops
+        .iter()
+        .enumerate()
+        .filter(|(_, o)| matches!(o.kind, OpKind::Load(_)))
+        .collect();
+    assert_eq!(gathers.len(), 16); // 8 index + 8 data
+    for pair in gathers.chunks(2) {
+        assert_eq!(pair[0].1.dep, 0, "index load independent");
+        assert_eq!(pair[1].1.dep, 1, "gather depends on index load");
+        assert_eq!(pair[1].0 - pair[0].0, 1, "adjacent in trace");
+    }
+}
+
+#[test]
+fn pcs_live_in_text_segment_and_do_not_collide_across_sites() {
+    let mut b = ProgramBuilder::new("t");
+    let a = b.array("A", &[8], 8);
+    b.loop_(2, |b, i| {
+        b.stmt(|s| {
+            s.read(a, vec![Subscript::var(i)]);
+        });
+        b.stmt(|s| {
+            s.int(1);
+        });
+    });
+    b.loop_(2, |b, _| {
+        b.stmt(|s| {
+            s.int(1);
+        });
+    });
+    let p = b.finish().unwrap();
+    // A pc always maps to the same op *class* (stable static sites);
+    // operand addresses and branch directions naturally vary per execution.
+    fn class(k: &OpKind) -> u8 {
+        match k {
+            OpKind::IntAlu => 0,
+            OpKind::FpAlu => 1,
+            OpKind::Load(_) => 2,
+            OpKind::Store(_) => 3,
+            OpKind::Branch { .. } => 4,
+            OpKind::AssistOn => 5,
+            OpKind::AssistOff => 6,
+        }
+    }
+    let mut per_pc_class: std::collections::HashMap<u64, u8> = Default::default();
+    for op in Interp::new(&p) {
+        assert!(op.pc >= TEXT_BASE, "pc {:#x} below text base", op.pc);
+        let c = class(&op.kind);
+        let prev = per_pc_class.insert(op.pc, c);
+        if let Some(k) = prev {
+            assert_eq!(k, c, "pc {:#x} reused for a different op class", op.pc);
+        }
+    }
+}
+
+#[test]
+fn stores_follow_loads_within_statement() {
+    let mut b = ProgramBuilder::new("t");
+    let a = b.array("A", &[8], 8);
+    let c = b.array("C", &[8], 8);
+    b.loop_(4, |b, i| {
+        b.stmt(|s| {
+            s.write(c, vec![Subscript::var(i)]) // listed first…
+                .read(a, vec![Subscript::var(i)]); // …but loads are emitted first
+        });
+    });
+    let p = b.finish().unwrap();
+    let kinds: Vec<bool> = Interp::new(&p)
+        .filter_map(|o| match o.kind {
+            OpKind::Load(_) => Some(false),
+            OpKind::Store(_) => Some(true),
+            _ => None,
+        })
+        .collect();
+    for pair in kinds.chunks(2) {
+        assert_eq!(pair, &[false, true], "load then store per iteration");
+    }
+}
+
+#[test]
+fn modulo_and_product_subscripts_stay_in_bounds() {
+    let mut b = ProgramBuilder::new("t");
+    let a = b.array("A", &[32], 8);
+    let d = b.array("D", &[16], 8);
+    b.nest2(8, 8, |b, i, j| {
+        b.stmt(|s| {
+            s.read(a, vec![Subscript::Modulo(i, 32)])
+                .read(d, vec![Subscript::Product(i, j)]);
+        });
+    });
+    let p = b.finish().unwrap();
+    let map = p.address_map();
+    for op in Interp::new(&p) {
+        if let Some(addr) = op.kind.addr() {
+            assert!(addr.0 < map.end().0);
+        }
+    }
+}

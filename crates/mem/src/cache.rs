@@ -1,0 +1,556 @@
+//! Set-associative cache model with three-C miss classification.
+
+use crate::lru::LruSet;
+use crate::stats::{CacheStats, MissClass};
+use selcache_ir::Addr;
+use std::collections::HashSet;
+
+/// Replacement policy for a set-associative cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Replacement {
+    /// Least recently used (the paper's configuration).
+    #[default]
+    Lru,
+    /// First-in first-out.
+    Fifo,
+    /// Pseudo-random (deterministic xorshift).
+    Random,
+    /// Tree pseudo-LRU (requires power-of-two associativity).
+    Plru,
+}
+
+/// Geometry and policy of one cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size: u64,
+    /// Associativity (ways per set).
+    pub assoc: u32,
+    /// Block (line) size in bytes.
+    pub block_size: u64,
+    /// Replacement policy.
+    pub replacement: Replacement,
+}
+
+impl CacheConfig {
+    /// A cache of `size_kib` KiB with the given associativity and block size.
+    pub fn kib(size_kib: u64, assoc: u32, block_size: u64) -> Self {
+        CacheConfig { size: size_kib * 1024, assoc, block_size, replacement: Replacement::Lru }
+    }
+
+    /// Number of sets.
+    pub fn num_sets(&self) -> u64 {
+        (self.size / self.block_size / self.assoc as u64).max(1)
+    }
+
+    /// Number of lines.
+    pub fn num_lines(&self) -> u64 {
+        (self.size / self.block_size).max(1)
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    block: u64,
+    valid: bool,
+    dirty: bool,
+    stamp: u64,
+}
+
+/// Result of a cache lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lookup {
+    /// The block was present.
+    Hit,
+    /// The block was absent, with its three-C classification (only when
+    /// classification is enabled; [`MissClass::Capacity`] otherwise).
+    Miss(MissClass),
+}
+
+impl Lookup {
+    /// True for [`Lookup::Hit`].
+    pub fn is_hit(&self) -> bool {
+        matches!(self, Lookup::Hit)
+    }
+}
+
+/// A block evicted by a fill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Eviction {
+    /// Block number of the evicted line.
+    pub block: u64,
+    /// True if the evicted line was dirty (needs write-back).
+    pub dirty: bool,
+}
+
+/// A set-associative cache operating on block numbers.
+///
+/// Lookups and fills are decoupled so that assist logic (bypassing, victim
+/// caching) can decide what happens on a miss:
+///
+/// ```
+/// use selcache_mem::{Cache, CacheConfig};
+/// use selcache_ir::Addr;
+///
+/// let mut c = Cache::new(CacheConfig::kib(1, 2, 32));
+/// let b = c.block_of(Addr(0x1000));
+/// assert!(!c.access(b, false).is_hit());
+/// c.fill(b, false);
+/// assert!(c.access(b, false).is_hit());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    sets: Vec<Vec<Line>>,
+    /// Tree-PLRU direction bits per set (used when the policy is
+    /// [`Replacement::Plru`]).
+    plru: Vec<u64>,
+    stamp: u64,
+    stats: CacheStats,
+    /// Fully-associative LRU shadow of equal capacity, for conflict-miss
+    /// classification.
+    shadow: Option<LruSet>,
+    /// Blocks ever referenced (compulsory-miss detection).
+    seen: HashSet<u64>,
+    rng: u64,
+}
+
+impl Cache {
+    /// Creates a cache without miss classification (fastest).
+    pub fn new(cfg: CacheConfig) -> Self {
+        Self::build(cfg, false)
+    }
+
+    /// Creates a cache that classifies misses into the three Cs.
+    pub fn with_classification(cfg: CacheConfig) -> Self {
+        Self::build(cfg, true)
+    }
+
+    fn build(cfg: CacheConfig, classify: bool) -> Self {
+        assert!(cfg.block_size.is_power_of_two(), "block size must be a power of two");
+        assert!(cfg.assoc > 0, "associativity must be positive");
+        if cfg.replacement == Replacement::Plru {
+            assert!(cfg.assoc.is_power_of_two(), "tree PLRU needs power-of-two associativity");
+        }
+        let sets = cfg.num_sets();
+        Cache {
+            cfg,
+            sets: vec![vec![Line::default(); cfg.assoc as usize]; sets as usize],
+            plru: vec![0; sets as usize],
+            stamp: 0,
+            stats: CacheStats::default(),
+            shadow: classify.then(|| LruSet::new(cfg.num_lines() as usize)),
+            seen: HashSet::new(),
+            rng: 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// This cache's configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Block number of an address under this cache's block size.
+    pub fn block_of(&self, addr: Addr) -> u64 {
+        addr.block(self.cfg.block_size)
+    }
+
+    fn set_index(&self, block: u64) -> usize {
+        (block % self.cfg.num_sets()) as usize
+    }
+
+    /// Looks up `block`, updating recency, statistics, and classification
+    /// state. Does **not** fill on a miss — call [`Cache::fill`] if the block
+    /// should be allocated.
+    pub fn access(&mut self, block: u64, write: bool) -> Lookup {
+        self.stamp += 1;
+        self.stats.accesses += 1;
+        let si = self.set_index(block);
+        let stamp = self.stamp;
+        let is_lru = self.cfg.replacement == Replacement::Lru;
+        if let Some(way) = self.sets[si].iter().position(|l| l.valid && l.block == block) {
+            let line = &mut self.sets[si][way];
+            if is_lru {
+                line.stamp = stamp;
+            }
+            line.dirty |= write;
+            self.stats.hits += 1;
+            if self.cfg.replacement == Replacement::Plru {
+                self.plru_touch(si, way);
+            }
+            if let Some(shadow) = &mut self.shadow {
+                shadow.insert(block, false);
+            }
+            return Lookup::Hit;
+        }
+        let class = self.classify(block);
+        self.stats.record_miss(class);
+        Lookup::Miss(class)
+    }
+
+    fn classify(&mut self, block: u64) -> MissClass {
+        let first_touch = self.seen.insert(block);
+        let shadow_hit = match &mut self.shadow {
+            Some(shadow) => {
+                let hit = shadow.contains(block);
+                shadow.insert(block, false);
+                hit
+            }
+            None => false,
+        };
+        if first_touch {
+            MissClass::Compulsory
+        } else if shadow_hit {
+            MissClass::Conflict
+        } else {
+            MissClass::Capacity
+        }
+    }
+
+    /// Probes for `block` without changing any state.
+    pub fn probe(&self, block: u64) -> bool {
+        let si = self.set_index(block);
+        self.sets[si].iter().any(|l| l.valid && l.block == block)
+    }
+
+    /// Allocates `block`, evicting a line if the set is full. Records a
+    /// write-back in the statistics when the evicted line is dirty.
+    pub fn fill(&mut self, block: u64, dirty: bool) -> Option<Eviction> {
+        self.stamp += 1;
+        let si = self.set_index(block);
+        let stamp = self.stamp;
+        let is_lru = self.cfg.replacement == Replacement::Lru;
+        if let Some(line) = self.sets[si].iter_mut().find(|l| l.valid && l.block == block) {
+            line.dirty |= dirty;
+            if is_lru {
+                line.stamp = stamp;
+            }
+            return None;
+        }
+        let way = self.choose_victim(si);
+        let line = &mut self.sets[si][way];
+        let evicted = line.valid.then_some(Eviction { block: line.block, dirty: line.dirty });
+        if let Some(e) = evicted {
+            if e.dirty {
+                self.stats.writebacks += 1;
+            }
+        }
+        *line = Line { block, valid: true, dirty, stamp };
+        if self.cfg.replacement == Replacement::Plru {
+            self.plru_touch(si, way);
+        }
+        evicted
+    }
+
+    /// The block that a fill of `block` would evict, without filling.
+    pub fn victim_for(&self, block: u64) -> Option<Eviction> {
+        let si = self.set_index(block);
+        if self.sets[si].iter().any(|l| l.valid && l.block == block) {
+            return None;
+        }
+        if self.sets[si].iter().any(|l| !l.valid) {
+            return None;
+        }
+        let way = self.peek_victim(si);
+        let line = &self.sets[si][way];
+        Some(Eviction { block: line.block, dirty: line.dirty })
+    }
+
+    fn peek_victim(&self, si: usize) -> usize {
+        // Deterministic preview matching choose_victim for LRU/FIFO; for
+        // Random the preview is the oldest line (an approximation used only
+        // by assist decision logic).
+        self.sets[si]
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, l)| l.stamp)
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    fn choose_victim(&mut self, si: usize) -> usize {
+        if let Some(way) = self.sets[si].iter().position(|l| !l.valid) {
+            return way;
+        }
+        match self.cfg.replacement {
+            Replacement::Lru | Replacement::Fifo => self.peek_victim(si),
+            Replacement::Plru => self.plru_victim(si),
+            Replacement::Random => {
+                // xorshift64*
+                self.rng ^= self.rng >> 12;
+                self.rng ^= self.rng << 25;
+                self.rng ^= self.rng >> 27;
+                (self.rng.wrapping_mul(0x2545_F491_4F6C_DD1D) % self.cfg.assoc as u64) as usize
+            }
+        }
+    }
+
+    /// Marks `way` most-recently-used in the PLRU tree: flip each node on
+    /// the root-to-leaf path to point *away* from the way.
+    fn plru_touch(&mut self, si: usize, way: usize) {
+        let assoc = self.cfg.assoc as usize;
+        if assoc == 1 {
+            return;
+        }
+        let bits = &mut self.plru[si];
+        let mut node = 1usize; // 1-indexed heap node
+        let levels = assoc.trailing_zeros();
+        for level in (0..levels).rev() {
+            let dir = (way >> level) & 1;
+            // Point the node away from the chosen child.
+            if dir == 0 {
+                *bits |= 1 << (node - 1);
+            } else {
+                *bits &= !(1 << (node - 1));
+            }
+            node = node * 2 + dir;
+        }
+    }
+
+    /// Follows the PLRU direction bits to the pseudo-least-recently-used way.
+    fn plru_victim(&self, si: usize) -> usize {
+        let assoc = self.cfg.assoc as usize;
+        if assoc == 1 {
+            return 0;
+        }
+        let bits = self.plru[si];
+        let levels = assoc.trailing_zeros();
+        let mut node = 1usize;
+        let mut way = 0usize;
+        for _ in 0..levels {
+            let dir = ((bits >> (node - 1)) & 1) as usize;
+            way = way * 2 + dir;
+            node = node * 2 + dir;
+        }
+        way
+    }
+
+    /// Removes `block`, returning its dirty bit if it was present.
+    pub fn invalidate(&mut self, block: u64) -> Option<bool> {
+        let si = self.set_index(block);
+        let line = self.sets[si].iter_mut().find(|l| l.valid && l.block == block)?;
+        line.valid = false;
+        Some(line.dirty)
+    }
+
+    /// Number of valid lines currently resident.
+    pub fn resident(&self) -> usize {
+        self.sets.iter().flatten().filter(|l| l.valid).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 4 sets x 2 ways x 32B = 256B
+        Cache::with_classification(CacheConfig {
+            size: 256,
+            assoc: 2,
+            block_size: 32,
+            replacement: Replacement::Lru,
+        })
+    }
+
+    #[test]
+    fn miss_then_hit_after_fill() {
+        let mut c = tiny();
+        assert!(!c.access(10, false).is_hit());
+        c.fill(10, false);
+        assert!(c.access(10, false).is_hit());
+        assert_eq!(c.stats().accesses, 2);
+        assert_eq!(c.stats().hits, 1);
+    }
+
+    #[test]
+    fn fill_without_access_does_not_count() {
+        let mut c = tiny();
+        c.fill(3, false);
+        assert_eq!(c.stats().accesses, 0);
+    }
+
+    #[test]
+    fn lru_eviction_within_set() {
+        let mut c = tiny();
+        // Blocks 0, 4, 8 all map to set 0 (4 sets).
+        c.fill(0, false);
+        c.fill(4, false);
+        let e = c.fill(8, false).unwrap();
+        assert_eq!(e.block, 0);
+        assert!(c.probe(4));
+        assert!(c.probe(8));
+    }
+
+    #[test]
+    fn access_refreshes_lru() {
+        let mut c = tiny();
+        c.fill(0, false);
+        c.fill(4, false);
+        c.access(0, false); // 0 becomes MRU
+        let e = c.fill(8, false).unwrap();
+        assert_eq!(e.block, 4);
+    }
+
+    #[test]
+    fn dirty_eviction_counts_writeback() {
+        let mut c = tiny();
+        c.fill(0, true);
+        c.fill(4, false);
+        let e = c.fill(8, false).unwrap();
+        assert!(e.dirty);
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn write_hit_marks_dirty() {
+        let mut c = tiny();
+        c.fill(0, false);
+        c.access(0, true);
+        c.fill(4, false);
+        let e = c.fill(8, false).unwrap();
+        assert_eq!((e.block, e.dirty), (0, true));
+    }
+
+    #[test]
+    fn classification_three_cs() {
+        let mut c = tiny();
+        // Compulsory: first touch.
+        assert_eq!(c.access(0, false), Lookup::Miss(MissClass::Compulsory));
+        c.fill(0, false);
+        // Conflict: evicted by same-set traffic but fits in FA shadow.
+        c.fill(4, false);
+        c.access(4, false);
+        c.fill(8, false);
+        c.access(8, false);
+        // 0 was evicted by 8; shadow (8 lines) still holds it.
+        assert_eq!(c.access(0, false), Lookup::Miss(MissClass::Conflict));
+    }
+
+    #[test]
+    fn capacity_miss_when_footprint_exceeds_cache() {
+        let mut c = tiny();
+        // Touch 32 distinct blocks (4x capacity), then re-touch block 0:
+        // the FA shadow (8 lines) has also lost it -> capacity.
+        for b in 0..32 {
+            c.access(b, false);
+            c.fill(b, false);
+        }
+        assert_eq!(c.access(0, false), Lookup::Miss(MissClass::Capacity));
+    }
+
+    #[test]
+    fn victim_preview_matches_fill() {
+        let mut c = tiny();
+        c.fill(0, false);
+        c.fill(4, true);
+        c.access(0, false);
+        let preview = c.victim_for(8).unwrap();
+        let actual = c.fill(8, false).unwrap();
+        assert_eq!(preview, actual);
+    }
+
+    #[test]
+    fn victim_preview_none_when_room_or_present() {
+        let mut c = tiny();
+        c.fill(0, false);
+        assert_eq!(c.victim_for(0), None); // present
+        assert_eq!(c.victim_for(4), None); // invalid way available
+    }
+
+    #[test]
+    fn invalidate_removes() {
+        let mut c = tiny();
+        c.fill(0, true);
+        assert_eq!(c.invalidate(0), Some(true));
+        assert!(!c.probe(0));
+        assert_eq!(c.invalidate(0), None);
+    }
+
+    #[test]
+    fn block_of_uses_block_size() {
+        let c = tiny();
+        assert_eq!(c.block_of(Addr(64)), 2);
+        assert_eq!(c.block_of(Addr(95)), 2);
+        assert_eq!(c.block_of(Addr(96)), 3);
+    }
+
+    #[test]
+    fn random_replacement_is_deterministic() {
+        let mk = || {
+            let mut c = Cache::new(CacheConfig {
+                size: 256,
+                assoc: 2,
+                block_size: 32,
+                replacement: Replacement::Random,
+            });
+            let mut evictions = Vec::new();
+            for b in (0..40).map(|i| i * 4) {
+                if let Some(e) = c.fill(b, false) {
+                    evictions.push(e.block);
+                }
+            }
+            evictions
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn plru_two_way_matches_lru() {
+        // With 2 ways, tree PLRU is exact LRU.
+        let mk = |rep| Cache::new(CacheConfig { size: 256, assoc: 2, block_size: 32, replacement: rep });
+        let mut plru = mk(Replacement::Plru);
+        let mut lru = mk(Replacement::Lru);
+        let mut state = 41u64;
+        for _ in 0..500 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let b = (state >> 32) % 24;
+            let (hp, hl) = (plru.access(b, false).is_hit(), lru.access(b, false).is_hit());
+            assert_eq!(hp, hl, "divergence at block {b}");
+            if !hp {
+                let ep = plru.fill(b, false).map(|e| e.block);
+                let el = lru.fill(b, false).map(|e| e.block);
+                assert_eq!(ep, el);
+            }
+        }
+    }
+
+    #[test]
+    fn plru_victim_is_not_most_recent() {
+        let mut c = Cache::new(CacheConfig { size: 4 * 32, assoc: 4, block_size: 32, replacement: Replacement::Plru });
+        for b in 0..4 {
+            c.fill(b, false);
+        }
+        // Touch block 2: it must not be the next victim.
+        c.access(2, false);
+        let e = c.fill(10, false).unwrap();
+        assert_ne!(e.block, 2, "PLRU evicted the most recently used line");
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two associativity")]
+    fn plru_requires_power_of_two_ways() {
+        let _ = Cache::new(CacheConfig { size: 96, assoc: 3, block_size: 32, replacement: Replacement::Plru });
+    }
+
+    #[test]
+    fn num_sets_geometry() {
+        let cfg = CacheConfig::kib(32, 4, 32);
+        assert_eq!(cfg.num_sets(), 256);
+        assert_eq!(cfg.num_lines(), 1024);
+    }
+
+    #[test]
+    fn resident_counts() {
+        let mut c = tiny();
+        assert_eq!(c.resident(), 0);
+        c.fill(0, false);
+        c.fill(1, false);
+        assert_eq!(c.resident(), 2);
+    }
+}

@@ -1,0 +1,151 @@
+//! Statistics collected by the memory hierarchy.
+
+use std::fmt;
+
+/// Miss classification following the three-C model; conflict misses are
+/// identified with a fully-associative LRU shadow cache of equal capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MissClass {
+    /// First touch of the block.
+    Compulsory,
+    /// Would also miss in a fully-associative cache of the same capacity.
+    Capacity,
+    /// Hits in the fully-associative shadow: caused by limited associativity.
+    Conflict,
+}
+
+/// Per-cache counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Total accesses (reads + writes).
+    pub accesses: u64,
+    /// Hits in the cache proper.
+    pub hits: u64,
+    /// Misses (including those later served by an assist).
+    pub misses: u64,
+    /// Compulsory misses.
+    pub compulsory: u64,
+    /// Capacity misses.
+    pub capacity: u64,
+    /// Conflict misses.
+    pub conflict: u64,
+    /// Dirty blocks written back on eviction.
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// Miss rate in `[0, 1]`; 0 when no accesses occurred.
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+
+    /// Fraction of misses classified as conflict misses.
+    pub fn conflict_share(&self) -> f64 {
+        if self.misses == 0 {
+            0.0
+        } else {
+            self.conflict as f64 / self.misses as f64
+        }
+    }
+
+    pub(crate) fn record_miss(&mut self, class: MissClass) {
+        self.misses += 1;
+        match class {
+            MissClass::Compulsory => self.compulsory += 1,
+            MissClass::Capacity => self.capacity += 1,
+            MissClass::Conflict => self.conflict += 1,
+        }
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "acc={} hit={} miss={} ({:.2}%) [comp={} cap={} conf={}] wb={}",
+            self.accesses,
+            self.hits,
+            self.misses,
+            self.miss_rate() * 100.0,
+            self.compulsory,
+            self.capacity,
+            self.conflict,
+            self.writebacks
+        )
+    }
+}
+
+/// Counters for the hardware assists.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AssistStats {
+    /// L1 misses served by the bypass buffer.
+    pub bypass_buffer_hits: u64,
+    /// Blocks routed around the L1 into the bypass buffer.
+    pub bypassed_fills: u64,
+    /// Blocks routed around the L2 (filled upward only).
+    pub l2_bypassed_fills: u64,
+    /// Adjacent blocks prefetched on SLDT advice.
+    pub spatial_prefetches: u64,
+    /// L1 misses served by the L1 victim cache.
+    pub l1_victim_hits: u64,
+    /// L2 misses served by the L2 victim cache.
+    pub l2_victim_hits: u64,
+    /// L1 misses served by a stream buffer.
+    pub stream_hits: u64,
+    /// Accesses executed while the assist was enabled.
+    pub assisted_accesses: u64,
+}
+
+/// All hierarchy statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HierarchyStats {
+    /// L1 data cache.
+    pub l1d: CacheStats,
+    /// L1 instruction cache.
+    pub l1i: CacheStats,
+    /// Unified L2.
+    pub l2: CacheStats,
+    /// Data TLB misses.
+    pub dtlb_misses: u64,
+    /// Instruction TLB misses.
+    pub itlb_misses: u64,
+    /// Assist counters.
+    pub assist: AssistStats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates() {
+        let mut s = CacheStats { accesses: 100, hits: 90, ..Default::default() };
+        s.record_miss(MissClass::Conflict);
+        s.record_miss(MissClass::Capacity);
+        for _ in 0..8 {
+            s.record_miss(MissClass::Compulsory);
+        }
+        assert_eq!(s.misses, 10);
+        assert!((s.miss_rate() - 0.10).abs() < 1e-12);
+        assert!((s.conflict_share() - 0.10).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_rates_are_zero() {
+        let s = CacheStats::default();
+        assert_eq!(s.miss_rate(), 0.0);
+        assert_eq!(s.conflict_share(), 0.0);
+    }
+
+    #[test]
+    fn display_contains_counts() {
+        let s = CacheStats { accesses: 4, hits: 3, misses: 1, ..Default::default() };
+        let t = s.to_string();
+        assert!(t.contains("acc=4"));
+        assert!(t.contains("25.00%"));
+    }
+}

@@ -1,0 +1,201 @@
+//! The benchmark suite of the paper (Section 4.2): 13 programs spanning
+//! regular, irregular, and mixed access patterns.
+
+use crate::scale::Scale;
+use crate::{kernels, spec_fp, spec_int, tpc};
+use selcache_ir::Program;
+use std::fmt;
+
+/// Access-pattern category (Section 4.2's grouping).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Category {
+    /// Regular access patterns (*Swim*, *Mgrid*, *Vpenta*, *Adi*).
+    Regular,
+    /// Irregular access patterns (*Perl*, *Li*, *Compress*, *Applu*).
+    Irregular,
+    /// Mixed regular + irregular (*Chaos*, TPC benchmarks).
+    Mixed,
+}
+
+impl fmt::Display for Category {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Category::Regular => "regular",
+            Category::Irregular => "irregular",
+            Category::Mixed => "mixed",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// One benchmark of the suite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Benchmark {
+    /// SpecInt95 *Perl* (`primes.in`).
+    Perl,
+    /// SpecInt95 *Compress* (training input).
+    Compress,
+    /// SpecInt95 *Li* (`train.lsp`).
+    Li,
+    /// SpecFP95 *Swim* (train).
+    Swim,
+    /// SpecFP95 *Applu* (train).
+    Applu,
+    /// SpecFP95 *Mgrid* (`mgrid.in`).
+    Mgrid,
+    /// CHAOS irregular mesh (`mesh.2k`).
+    Chaos,
+    /// SpecFP92 *Vpenta*.
+    Vpenta,
+    /// *Adi* from the Livermore kernels.
+    Adi,
+    /// TPC-C transaction mix.
+    TpcC,
+    /// TPC-D query 1.
+    TpcDQ1,
+    /// TPC-D query 3.
+    TpcDQ3,
+    /// TPC-D query 6.
+    TpcDQ6,
+}
+
+impl Benchmark {
+    /// All benchmarks, in the paper's Table 2 order.
+    pub const ALL: [Benchmark; 13] = [
+        Benchmark::Perl,
+        Benchmark::Compress,
+        Benchmark::Li,
+        Benchmark::Swim,
+        Benchmark::Applu,
+        Benchmark::Mgrid,
+        Benchmark::Chaos,
+        Benchmark::Vpenta,
+        Benchmark::Adi,
+        Benchmark::TpcC,
+        Benchmark::TpcDQ1,
+        Benchmark::TpcDQ3,
+        Benchmark::TpcDQ6,
+    ];
+
+    /// Display name matching the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Benchmark::Perl => "Perl",
+            Benchmark::Compress => "Compress",
+            Benchmark::Li => "Li",
+            Benchmark::Swim => "Swim",
+            Benchmark::Applu => "Applu",
+            Benchmark::Mgrid => "Mgrid",
+            Benchmark::Chaos => "Chaos",
+            Benchmark::Vpenta => "Vpenta",
+            Benchmark::Adi => "Adi",
+            Benchmark::TpcC => "TPC-C",
+            Benchmark::TpcDQ1 => "TPC-D,Q1",
+            Benchmark::TpcDQ3 => "TPC-D,Q3",
+            Benchmark::TpcDQ6 => "TPC-D,Q6",
+        }
+    }
+
+    /// The input listed in Table 2.
+    pub fn input(&self) -> &'static str {
+        match self {
+            Benchmark::Perl => "primes.in",
+            Benchmark::Compress => "training",
+            Benchmark::Li => "train.lsp",
+            Benchmark::Swim | Benchmark::Applu => "train",
+            Benchmark::Mgrid => "mgrid.in",
+            Benchmark::Chaos => "mesh.2k",
+            Benchmark::Vpenta | Benchmark::Adi => "Large enough to fill L2",
+            _ => "Generated using TPC tools",
+        }
+    }
+
+    /// Access-pattern category (Section 4.2).
+    pub fn category(&self) -> Category {
+        match self {
+            Benchmark::Swim | Benchmark::Mgrid | Benchmark::Vpenta | Benchmark::Adi => {
+                Category::Regular
+            }
+            Benchmark::Perl | Benchmark::Li | Benchmark::Compress | Benchmark::Applu => {
+                Category::Irregular
+            }
+            _ => Category::Mixed,
+        }
+    }
+
+    /// Finds a benchmark by its display name (case-insensitive).
+    pub fn parse(name: &str) -> Option<Benchmark> {
+        Benchmark::ALL.into_iter().find(|b| b.name().eq_ignore_ascii_case(name))
+    }
+
+    /// Builds the benchmark program at the given scale. Deterministic: the
+    /// same `(benchmark, scale)` always yields an identical program.
+    pub fn build(&self, scale: Scale) -> Program {
+        match self {
+            Benchmark::Perl => spec_int::perl(scale),
+            Benchmark::Compress => spec_int::compress(scale),
+            Benchmark::Li => spec_int::li(scale),
+            Benchmark::Swim => spec_fp::swim(scale),
+            Benchmark::Applu => spec_fp::applu(scale),
+            Benchmark::Mgrid => spec_fp::mgrid(scale),
+            Benchmark::Chaos => kernels::chaos(scale),
+            Benchmark::Vpenta => spec_fp::vpenta(scale),
+            Benchmark::Adi => kernels::adi(scale),
+            Benchmark::TpcC => tpc::tpcc(scale),
+            Benchmark::TpcDQ1 => tpc::tpcd_q1(scale),
+            Benchmark::TpcDQ3 => tpc::tpcd_q3(scale),
+            Benchmark::TpcDQ6 => tpc::tpcd_q6(scale),
+        }
+    }
+}
+
+impl fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thirteen_benchmarks() {
+        assert_eq!(Benchmark::ALL.len(), 13);
+        let mut names: Vec<_> = Benchmark::ALL.iter().map(|b| b.name()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 13);
+    }
+
+    #[test]
+    fn categories_match_paper() {
+        use Category::*;
+        let cats: Vec<_> = Benchmark::ALL.iter().map(|b| b.category()).collect();
+        assert_eq!(cats.iter().filter(|&&c| c == Regular).count(), 4);
+        assert_eq!(cats.iter().filter(|&&c| c == Irregular).count(), 4);
+        assert_eq!(cats.iter().filter(|&&c| c == Mixed).count(), 5);
+    }
+
+    #[test]
+    fn every_benchmark_builds_tiny() {
+        for bm in Benchmark::ALL {
+            let p = bm.build(Scale::Tiny);
+            assert!(p.validate().is_ok(), "{bm} invalid");
+            assert!(!p.name.is_empty());
+        }
+    }
+
+    #[test]
+    fn parse_by_name() {
+        assert_eq!(Benchmark::parse("vpenta"), Some(Benchmark::Vpenta));
+        assert_eq!(Benchmark::parse("TPC-D,Q3"), Some(Benchmark::TpcDQ3));
+        assert_eq!(Benchmark::parse("nope"), None);
+    }
+
+    #[test]
+    fn display_matches_table2() {
+        assert_eq!(Benchmark::TpcDQ1.to_string(), "TPC-D,Q1");
+        assert_eq!(Benchmark::Perl.input(), "primes.in");
+    }
+}

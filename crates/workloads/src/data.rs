@@ -1,0 +1,143 @@
+//! Deterministic data generators for index tables, pointer chains, meshes,
+//! and TPC-style columns. All generators are seeded; a benchmark builds
+//! bit-identical programs on every run.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Creates the deterministic generator for a benchmark seed.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// A random permutation of `0..n`.
+pub fn permutation(rng: &mut StdRng, n: i64) -> Vec<i64> {
+    let mut v: Vec<i64> = (0..n).collect();
+    for i in (1..v.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        v.swap(i, j);
+    }
+    v
+}
+
+/// `len` uniform indices in `0..bound`.
+pub fn uniform_indices(rng: &mut StdRng, len: usize, bound: i64) -> Vec<i64> {
+    (0..len).map(|_| rng.gen_range(0..bound.max(1))).collect()
+}
+
+/// `len` skewed indices: a `hot_fraction` of accesses go to the first
+/// `hot_count` values (an 80/20-style working set, as in hash tables and
+/// OLTP keys).
+pub fn skewed_indices(
+    rng: &mut StdRng,
+    len: usize,
+    bound: i64,
+    hot_count: i64,
+    hot_fraction: f64,
+) -> Vec<i64> {
+    let hot = hot_count.clamp(1, bound.max(1));
+    (0..len)
+        .map(|_| {
+            if rng.gen_bool(hot_fraction) {
+                rng.gen_range(0..hot)
+            } else {
+                rng.gen_range(0..bound.max(1))
+            }
+        })
+        .collect()
+}
+
+/// A random cyclic successor table over `0..n`: following `next` from any
+/// node visits every node once before repeating (a shuffled linked list).
+pub fn chain_next(rng: &mut StdRng, n: i64) -> Vec<i64> {
+    let order = permutation(rng, n);
+    let mut next = vec![0i64; n as usize];
+    for k in 0..order.len() {
+        let from = order[k];
+        let to = order[(k + 1) % order.len()];
+        next[from as usize] = to;
+    }
+    next
+}
+
+/// Edge endpoints for an irregular mesh of `nodes` nodes and `edges` edges.
+/// Each edge connects a node to a mostly-nearby node (`spread` controls the
+/// neighborhood size), like a partitioned unstructured mesh.
+pub fn mesh_edges(rng: &mut StdRng, nodes: i64, edges: usize, spread: i64) -> (Vec<i64>, Vec<i64>) {
+    let mut src = Vec::with_capacity(edges);
+    let mut dst = Vec::with_capacity(edges);
+    for _ in 0..edges {
+        let a = rng.gen_range(0..nodes.max(1));
+        let offset = rng.gen_range(-spread..=spread);
+        let b = (a + offset).rem_euclid(nodes.max(1));
+        src.push(a);
+        dst.push(b);
+    }
+    (src, dst)
+}
+
+/// TPC-style group keys: `len` values in `0..groups` (aggregation keys).
+pub fn group_keys(rng: &mut StdRng, len: usize, groups: i64) -> Vec<i64> {
+    uniform_indices(rng, len, groups)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = permutation(&mut rng(7), 100);
+        let b = permutation(&mut rng(7), 100);
+        assert_eq!(a, b);
+        let c = permutation(&mut rng(8), 100);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn permutation_is_a_permutation() {
+        let mut p = permutation(&mut rng(1), 500);
+        p.sort();
+        assert_eq!(p, (0..500).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chain_visits_every_node() {
+        let next = chain_next(&mut rng(2), 64);
+        let mut seen = [false; 64];
+        let mut cur = 0i64;
+        for _ in 0..64 {
+            assert!(!seen[cur as usize], "revisited before full cycle");
+            seen[cur as usize] = true;
+            cur = next[cur as usize];
+        }
+        assert!(seen.iter().all(|&s| s));
+        assert_eq!(cur, 0); // full cycle
+    }
+
+    #[test]
+    fn skew_concentrates_accesses() {
+        let idx = skewed_indices(&mut rng(3), 10_000, 10_000, 100, 0.8);
+        let hot = idx.iter().filter(|&&i| i < 100).count();
+        assert!(hot > 7_000, "hot share {hot}");
+        assert!(idx.iter().all(|&i| (0..10_000).contains(&i)));
+    }
+
+    #[test]
+    fn mesh_edges_in_bounds_and_local() {
+        let (src, dst) = mesh_edges(&mut rng(4), 1000, 5000, 16);
+        assert_eq!(src.len(), 5000);
+        for (&a, &b) in src.iter().zip(&dst) {
+            assert!((0..1000).contains(&a));
+            assert!((0..1000).contains(&b));
+            let d = (a - b).rem_euclid(1000).min((b - a).rem_euclid(1000));
+            assert!(d <= 16, "edge too long: {a}->{b}");
+        }
+    }
+
+    #[test]
+    fn uniform_indices_bounded() {
+        let v = uniform_indices(&mut rng(5), 1000, 50);
+        assert!(v.iter().all(|&i| (0..50).contains(&i)));
+    }
+}

@@ -1,0 +1,33 @@
+//! # selcache-workloads
+//!
+//! The benchmark suite of the paper (Section 4.2), rebuilt as synthetic
+//! programs in the selcache IR: three SpecInt95 codes (*Perl*, *Compress*,
+//! *Li*), three SpecFP95 codes (*Swim*, *Applu*, *Mgrid*), SpecFP92
+//! *Vpenta*, *Adi* from the Livermore kernels, *Chaos*, *TPC-C*, and three
+//! TPC-D queries (Q1, Q3, Q6). Each program reproduces its original's
+//! dominant kernels and access-pattern mix (regular / irregular / mixed);
+//! all data is generated deterministically from fixed seeds.
+//!
+//! ## Example
+//!
+//! ```
+//! use selcache_workloads::{Benchmark, Category, Scale};
+//!
+//! let p = Benchmark::Vpenta.build(Scale::Tiny);
+//! assert!(p.validate().is_ok());
+//! assert_eq!(Benchmark::Vpenta.category(), Category::Regular);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod benchmark;
+pub mod data;
+pub mod kernels;
+mod scale;
+pub mod spec_fp;
+pub mod spec_int;
+pub mod tpc;
+
+pub use benchmark::{Benchmark, Category};
+pub use scale::Scale;

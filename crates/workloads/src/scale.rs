@@ -1,0 +1,70 @@
+//! Workload scaling.
+
+/// Problem-size presets.
+///
+/// The paper runs SPEC/TPC inputs to completion (11M–878M instructions);
+/// we scale the synthetic equivalents so full experiment sweeps finish in
+/// minutes while keeping every footprint well beyond the L1 and into the L2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Scale {
+    /// Unit-test size: tens of thousands of instructions.
+    Tiny,
+    /// Quick-experiment size: hundreds of thousands of instructions.
+    #[default]
+    Small,
+    /// Figure-quality size: millions of instructions per run.
+    Medium,
+}
+
+impl Scale {
+    /// A problem dimension: picks from `(tiny, small, medium)`.
+    pub fn pick(&self, tiny: i64, small: i64, medium: i64) -> i64 {
+        match self {
+            Scale::Tiny => tiny,
+            Scale::Small => small,
+            Scale::Medium => medium,
+        }
+    }
+
+    /// Parses `"tiny" | "small" | "medium"` (case-insensitive).
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s.to_ascii_lowercase().as_str() {
+            "tiny" => Some(Scale::Tiny),
+            "small" => Some(Scale::Small),
+            "medium" => Some(Scale::Medium),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Scale {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Scale::Tiny => "tiny",
+            Scale::Small => "small",
+            Scale::Medium => "medium",
+        };
+        write!(f, "{s}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pick_selects() {
+        assert_eq!(Scale::Tiny.pick(1, 2, 3), 1);
+        assert_eq!(Scale::Small.pick(1, 2, 3), 2);
+        assert_eq!(Scale::Medium.pick(1, 2, 3), 3);
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        for s in [Scale::Tiny, Scale::Small, Scale::Medium] {
+            assert_eq!(Scale::parse(&s.to_string()), Some(s));
+        }
+        assert_eq!(Scale::parse("LARGE"), None);
+        assert_eq!(Scale::parse("Medium"), Some(Scale::Medium));
+    }
+}

@@ -1,0 +1,327 @@
+//! Synthetic equivalents of the floating-point benchmarks: *Swim*, *Applu*,
+//! *Mgrid*, and *Vpenta*.
+//!
+//! The regular codes (*Swim*, *Mgrid*, *Vpenta*) are written the way the
+//! originals reach a row-major compiler: column-order sweeps over several
+//! same-sized arrays. The arrays are tall (many rows of 16 doubles = one L2
+//! block per row), so a column sweep's working set — rows × concurrently
+//! swept arrays — exceeds the 4096-line L2 and thrashes both cache levels,
+//! while the same-sized power-of-two allocations collide in the L1 sets
+//! (Table 2's conflict-dominated miss profile). The software optimizer
+//! (padding + interchange + layout + tiling) repairs all of it. *Applu*
+//! follows the paper's categorization as an irregular code: its lower/upper
+//! sweeps walk jacobian blocks through a pivot-order index table.
+
+use crate::data;
+use crate::scale::Scale;
+use selcache_ir::{AffineExpr, Program, ProgramBuilder, Subscript};
+
+fn at(v: selcache_ir::VarId) -> Subscript {
+    Subscript::var(v)
+}
+
+fn off(v: selcache_ir::VarId, k: i64) -> Subscript {
+    Subscript::linear(v, 1, k)
+}
+
+/// Row width (in 8-byte elements) of the tall grids: one 128-byte L2 block
+/// per row.
+const COLS: i64 = 16;
+
+/// *Swim*: shallow-water stencil over several tall grids, three sweeps per
+/// timestep, written in column order.
+pub fn swim(scale: Scale) -> Program {
+    let r = scale.pick(1536, 2304, 4096);
+    let t = scale.pick(1, 2, 2);
+    let n = COLS;
+    let mut b = ProgramBuilder::new("swim");
+    let u = b.array("U", &[r, n], 8);
+    let v = b.array("V", &[r, n], 8);
+    let p = b.array("P", &[r, n], 8);
+    let cu = b.array("CU", &[r, n], 8);
+    let cv = b.array("CV", &[r, n], 8);
+    let z = b.array("Z", &[r, n], 8);
+    let h = b.array("H", &[r, n], 8);
+    let unew = b.array("UNEW", &[r, n], 8);
+
+    b.loop_(t, |b, _| {
+        // calc1: CU, CV from U, V, P — column-order accesses over 5 grids.
+        b.nest2(n - 1, r - 1, |b, i, j| {
+            b.stmt(|s| {
+                s.read(u, vec![at(j), at(i)])
+                    .read(v, vec![at(j), at(i)])
+                    .read(p, vec![at(j), at(i)])
+                    .read(p, vec![off(j, 1), at(i)])
+                    .fp(4)
+                    .write(cu, vec![at(j), at(i)])
+                    .write(cv, vec![at(j), at(i)]);
+            });
+        });
+        // calc2: Z, H with neighbor stencil.
+        b.nest2(n - 1, r - 1, |b, i, j| {
+            b.stmt(|s| {
+                s.read(cu, vec![at(j), at(i)])
+                    .read(cu, vec![at(j), off(i, 1)])
+                    .read(cv, vec![off(j, 1), at(i)])
+                    .fp(3)
+                    .write(z, vec![at(j), at(i)])
+                    .write(h, vec![at(j), at(i)]);
+            });
+        });
+        // calc3: UNEW from Z, H (column order again).
+        b.nest2(n - 1, r - 1, |b, i, j| {
+            b.stmt(|s| {
+                s.read(z, vec![at(j), at(i)])
+                    .read(h, vec![at(j), at(i)])
+                    .read(u, vec![at(j), at(i)])
+                    .fp(3)
+                    .write(unew, vec![at(j), at(i)]);
+            });
+        });
+        // Time smoothing: shift the new field back (column order), the
+        // original's UOLD/U/UNEW rotation.
+        b.nest2(n, r, |b, i, j| {
+            b.stmt(|s| {
+                s.read(unew, vec![at(j), at(i)]).fp(1).write(u, vec![at(j), at(i)]);
+            });
+        });
+        // Periodic boundary conditions: first/last rows (small, regular).
+        b.loop_(n, |b, i| {
+            b.stmt(|s| {
+                s.read(u, vec![Subscript::constant(0), at(i)])
+                    .fp(1)
+                    .write(u, vec![Subscript::constant(r - 1), at(i)]);
+            });
+        });
+    });
+    b.finish().expect("swim is a valid program")
+}
+
+/// *Mgrid*: 3-D multigrid relaxation — a stencil swept with the worst
+/// possible loop order over a deep grid, plus a stride-2 coarsening pass.
+pub fn mgrid(scale: Scale) -> Program {
+    let r = scale.pick(896, 1536, 2560);
+    let m = 8i64;
+    let t = scale.pick(1, 2, 2);
+    let mut b = ProgramBuilder::new("mgrid");
+    let u = b.array("U3", &[r, m, m], 8);
+    let rr = b.array("R3", &[r, m, m], 8);
+    let c = b.array("C3", &[r / 2, m / 2, m / 2], 8);
+
+    b.loop_(t, |b, _| {
+        // Relaxation: loops (k, j, i) but subscripts [i][j][k] — the
+        // innermost loop strides by a whole plane until the optimizer
+        // permutes it; successive k passes thrash the L2.
+        b.nest3(m - 2, m - 2, r - 2, |b, k, j, i| {
+            b.stmt(|s| {
+                s.read(rr, vec![off(i, 1), off(j, 1), off(k, 1)])
+                    .read(rr, vec![off(i, 0), off(j, 1), off(k, 1)])
+                    .read(rr, vec![off(i, 2), off(j, 1), off(k, 1)])
+                    .read(rr, vec![off(i, 1), off(j, 0), off(k, 1)])
+                    .read(rr, vec![off(i, 1), off(j, 2), off(k, 1)])
+                    .fp(5)
+                    .write(u, vec![off(i, 1), off(j, 1), off(k, 1)]);
+            });
+        });
+        // Coarsening (restriction): stride-2 gather into the coarse grid.
+        b.nest3(m / 2 - 1, m / 2 - 1, r / 2 - 1, |b, k, j, i| {
+            b.stmt(|s| {
+                s.read(
+                    u,
+                    vec![
+                        Subscript::linear(i, 2, 0),
+                        Subscript::linear(j, 2, 0),
+                        Subscript::linear(k, 2, 0),
+                    ],
+                )
+                .fp(2)
+                .write(c, vec![at(i), at(j), at(k)]);
+            });
+        });
+        // Interpolation (prolongation): coarse values feed back into the
+        // fine grid at stride 2 — same worst-case order as the relaxation.
+        b.nest3(m / 2 - 1, m / 2 - 1, r / 2 - 1, |b, k, j, i| {
+            b.stmt(|s| {
+                s.read(c, vec![at(i), at(j), at(k)])
+                    .fp(1)
+                    .write(
+                        rr,
+                        vec![
+                            Subscript::linear(i, 2, 1),
+                            Subscript::linear(j, 2, 1),
+                            Subscript::linear(k, 2, 1),
+                        ],
+                    );
+            });
+        });
+    });
+    b.finish().expect("mgrid is a valid program")
+}
+
+/// *Vpenta*: simultaneous pentadiagonal inversion (NASA kernels / SPEC
+/// FP92) — eight same-sized planes swept along columns; the original shows
+/// a 52 % L1 miss rate on the base machine.
+pub fn vpenta(scale: Scale) -> Program {
+    let r = scale.pick(1536, 2304, 4096);
+    let n = COLS;
+    let mut b = ProgramBuilder::new("vpenta");
+    let names = ["VA", "VB", "VC", "VD", "VE", "VF", "VX", "VY"];
+    let arrays: Vec<_> = names.iter().map(|nm| b.array(*nm, &[r, n], 8)).collect();
+    let (a, bb, c, d, e, f, x, y) = (
+        arrays[0], arrays[1], arrays[2], arrays[3], arrays[4], arrays[5], arrays[6], arrays[7],
+    );
+
+    // Forward elimination: column sweeps over five planes at once.
+    b.nest2(n, r - 2, |b, i, j| {
+        b.stmt(|s| {
+            s.read(a, vec![at(j), at(i)])
+                .read(bb, vec![at(j), at(i)])
+                .read(c, vec![at(j), at(i)])
+                .read(d, vec![at(j), at(i)])
+                .read(e, vec![at(j), at(i)])
+                .fp(6)
+                .write(f, vec![at(j), at(i)])
+                .write(x, vec![at(j), at(i)]);
+        });
+    });
+    // Back substitution.
+    b.nest2(n, r - 2, |b, i, j| {
+        b.stmt(|s| {
+            s.read(f, vec![at(j), at(i)])
+                .read(x, vec![at(j), at(i)])
+                .read(y, vec![off(j, 1), at(i)])
+                .fp(4)
+                .write(y, vec![at(j), at(i)]);
+        });
+    });
+    b.finish().expect("vpenta is a valid program")
+}
+
+/// *Applu*: SSOR solver; following the paper's categorization it behaves as
+/// an irregular code — the lower/upper triangular sweeps walk jacobian
+/// blocks in pivot order through index tables.
+pub fn applu(scale: Scale) -> Program {
+    let n = scale.pick(2048, 8192, 24576); // pivot entries
+    let blocks = scale.pick(1024, 4096, 12288);
+    let t = scale.pick(2, 3, 3);
+    let mut rng = data::rng(0xA991);
+    let mut b = ProgramBuilder::new("applu");
+    let jac = b.array("JAC", &[blocks * 5], 8);
+    let rhs = b.array("RHS", &[blocks], 8);
+    let pivot = b.data_array(
+        "PIVOT",
+        data::permutation(&mut rng, n).iter().map(|&p| p % blocks).collect(),
+        4,
+    );
+    let col = b.data_array(
+        "COLIDX",
+        data::uniform_indices(&mut rng, n as usize, blocks * 5),
+        4,
+    );
+    let small = scale.pick(768, 1536, 3072);
+    let tmp = b.array("TMP", &[small, COLS], 8);
+    let tmp2 = b.array("TMP2", &[small, COLS], 8);
+
+    b.loop_(t, |b, _| {
+        // Lower sweep: pivot-ordered block updates (irregular).
+        b.loop_(n, |b, k| {
+            b.stmt(|s| {
+                s.gather(jac, col, AffineExpr::var(k), 0)
+                    .gather(rhs, pivot, AffineExpr::var(k), 0)
+                    .fp(3)
+                    .scatter(rhs, pivot, AffineExpr::var(k), 0);
+            });
+        });
+        // Upper sweep: reversed pivot order.
+        b.loop_(n, |b, k| {
+            b.stmt(|s| {
+                s.gather(jac, col, AffineExpr::linear(k, -1, n - 1), 1)
+                    .gather(rhs, pivot, AffineExpr::linear(k, -1, n - 1), 0)
+                    .fp(3)
+                    .scatter(rhs, pivot, AffineExpr::linear(k, -1, n - 1), 0);
+            });
+        });
+        // A small regular rhs-norm nest (the minority regular phase),
+        // already in row order: the software optimizer has nothing to do
+        // here, matching the paper's near-zero software benefit on the
+        // irregular codes.
+        b.nest2(small, COLS, |b, j, i| {
+            b.stmt(|s| {
+                s.read(tmp2, vec![at(j), at(i)]).fp(1).write(tmp, vec![at(j), at(i)]);
+            });
+        });
+    });
+    b.finish().expect("applu is a valid program")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use selcache_ir::trace_len;
+
+    #[test]
+    fn all_build_and_validate() {
+        for p in [swim(Scale::Tiny), mgrid(Scale::Tiny), vpenta(Scale::Tiny), applu(Scale::Tiny)] {
+            assert!(p.validate().is_ok(), "{} invalid", p.name);
+            assert!(trace_len(&p) > 1000, "{} too small", p.name);
+        }
+    }
+
+    #[test]
+    fn regular_codes_are_fully_analyzable() {
+        for p in [swim(Scale::Tiny), mgrid(Scale::Tiny), vpenta(Scale::Tiny)] {
+            let mut total = 0;
+            let mut analyzable = 0;
+            p.for_each_stmt(|s| {
+                for r in &s.refs {
+                    total += 1;
+                    if r.pattern.is_analyzable() {
+                        analyzable += 1;
+                    }
+                }
+            });
+            assert_eq!(total, analyzable, "{} has irregular refs", p.name);
+        }
+    }
+
+    #[test]
+    fn applu_is_mostly_irregular() {
+        let p = applu(Scale::Tiny);
+        let mut total = 0;
+        let mut analyzable = 0;
+        p.for_each_stmt(|s| {
+            for r in &s.refs {
+                total += 1;
+                if r.pattern.is_analyzable() {
+                    analyzable += 1;
+                }
+            }
+        });
+        assert!(analyzable * 2 < total, "applu should be dominated by irregular refs");
+    }
+
+    #[test]
+    fn regular_footprints_exceed_l2() {
+        // The base column sweeps must thrash the 512 KiB L2: the rows ×
+        // concurrent arrays of every sweep exceed the 4096-line capacity.
+        for (p, concurrent) in [(swim(Scale::Tiny), 5), (vpenta(Scale::Tiny), 5)] {
+            let rows = p.arrays[0].dims[0];
+            assert!(
+                rows * concurrent > 4096,
+                "{}: rows {rows} x {concurrent} arrays must exceed 4096 L2 lines",
+                p.name
+            );
+        }
+    }
+
+    #[test]
+    fn scales_increase_size() {
+        assert!(trace_len(&swim(Scale::Small)) > 2 * trace_len(&swim(Scale::Tiny)));
+        assert!(trace_len(&vpenta(Scale::Small)) > trace_len(&vpenta(Scale::Tiny)));
+    }
+
+    #[test]
+    fn deterministic_build() {
+        assert_eq!(applu(Scale::Tiny), applu(Scale::Tiny));
+    }
+}

@@ -1,0 +1,315 @@
+//! TPC-style decision-support and OLTP workloads: *TPC-C* and the *TPC-D*
+//! queries Q1, Q3, Q6. As in the paper, each query is implemented as "a
+//! code segment performing the necessary operations" over tables produced
+//! by a generator.
+//!
+//! Tables are **row stores**: an `[rows, 8]`-shaped array of 8-byte
+//! attributes. A scan that touches a few attributes per row strides through
+//! memory wastefully; the compiler's data-layout pass converts the accessed
+//! tables to column order — the classic row-store→column-store
+//! transformation. Index probes, hash joins, and aggregations are
+//! irregular and fall to the hardware assist.
+
+use crate::data;
+use crate::scale::Scale;
+use selcache_ir::{AffineExpr, ArrayId, Program, ProgramBuilder, ScalarId, Subscript};
+
+fn at(v: selcache_ir::VarId) -> Subscript {
+    Subscript::var(v)
+}
+
+fn field(k: i64) -> Subscript {
+    Subscript::constant(k)
+}
+
+/// Attributes per row-store table row.
+pub const FIELDS: i64 = 8;
+
+/// Row counts for the generated tables at a given scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TpcSizes {
+    /// `lineitem` rows.
+    pub lineitem: i64,
+    /// `orders` rows.
+    pub orders: i64,
+    /// `stock`/`item` rows (TPC-C).
+    pub stock: i64,
+    /// OLTP transactions (TPC-C).
+    pub transactions: i64,
+}
+
+impl TpcSizes {
+    /// Sizes for a scale preset.
+    pub fn of(scale: Scale) -> TpcSizes {
+        TpcSizes {
+            lineitem: scale.pick(12_000, 30_000, 80_000),
+            orders: scale.pick(3_000, 7_500, 20_000),
+            stock: scale.pick(2048, 8192, 25_000),
+            transactions: scale.pick(1_500, 5_000, 12_000),
+        }
+    }
+}
+
+fn row_table(b: &mut ProgramBuilder, name: &str, rows: i64) -> ArrayId {
+    b.array(name, &[rows, FIELDS], 8)
+}
+
+/// *TPC-C*: new-order transactions — B-tree-style index walks (pointer
+/// chase), skewed stock updates, order-line appends — followed each batch
+/// by a delivery/settlement scan over the order-line table (the regular
+/// phase the compiler optimizes).
+pub fn tpcc(scale: Scale) -> Program {
+    let sz = TpcSizes::of(scale);
+    let mut rng = data::rng(0x7CC0);
+    let mut b = ProgramBuilder::new("tpcc");
+
+    let btree = b.array("BTREE", &[sz.stock / 4], 64);
+    let btree_next = b.data_array("BTNEXT", data::chain_next(&mut rng, sz.stock / 4), 8);
+    let stock = b.array("STOCK", &[sz.stock], 64);
+    let stockidx = b.data_array(
+        "STOCKIDX",
+        data::skewed_indices(&mut rng, sz.transactions as usize * 4, sz.stock, sz.stock / 16, 0.75),
+        4,
+    );
+    let olines = row_table(&mut b, "OLINES", sz.transactions);
+    let district = b.array("DISTRICT", &[10], 64);
+    let total: ScalarId = b.scalar();
+
+    let batches = 4;
+    b.loop_(batches, |b, _| {
+        // Transaction phase (irregular): index walk, district update, stock
+        // updates, order-line append. Fine-grained inner loops — the region
+        // detector classifies the whole phase as hardware.
+        b.loop_(sz.transactions / batches, |b, t| {
+            b.stmt(|s| {
+                s.chase(btree, btree_next, 16)
+                    .field(district, AffineExpr::constant(3), 8)
+                    .int(4)
+                    .field_write(district, AffineExpr::constant(3), 8);
+            });
+            b.loop_(4, |b, l| {
+                b.stmt(|s| {
+                    s.gather(stock, stockidx, AffineExpr::from_terms([(t, 4), (l, 1)], 0), 0)
+                        .int(3)
+                        .scatter(stock, stockidx, AffineExpr::from_terms([(t, 4), (l, 1)], 0), 0);
+                });
+            });
+            b.stmt(|s| {
+                s.int(2)
+                    .write(olines, vec![at(t), field(0)])
+                    .write(olines, vec![at(t), field(4)]);
+            });
+        });
+        // Payment transactions (irregular, lighter): index walk plus
+        // warehouse/district balance updates.
+        b.loop_(sz.transactions / batches / 2, |b, _| {
+            b.stmt(|s| {
+                s.chase(btree, btree_next, 24)
+                    .field(district, AffineExpr::constant(7), 16)
+                    .int(3)
+                    .field_write(district, AffineExpr::constant(7), 16);
+            });
+        });
+        // Delivery/settlement phase (regular): scan the order-line row
+        // store, total amounts — the layout pass turns this columnar.
+        b.loop_(sz.transactions, |b, i| {
+            b.stmt(|s| {
+                s.read(olines, vec![at(i), field(0)])
+                    .read(olines, vec![at(i), field(4)])
+                    .read_scalar(total)
+                    .fp(2)
+                    .write_scalar(total);
+            });
+        });
+    });
+    b.finish().expect("tpcc is a valid program")
+}
+
+/// *TPC-D Q1*: pricing summary — a wide row-store scan computing derived
+/// columns (regular; the layout pass makes it columnar), then an irregular
+/// aggregation phase grouping by return flag / line status.
+pub fn tpcd_q1(scale: Scale) -> Program {
+    let sz = TpcSizes::of(scale);
+    let mut rng = data::rng(0xD001);
+    let mut b = ProgramBuilder::new("tpcd_q1");
+    let lineitem = row_table(&mut b, "LINEITEM", sz.lineitem);
+    let derived = b.array("DERIVED", &[sz.lineitem], 8);
+    let groups = 8i64;
+    let agg = b.array("AGG", &[groups * 8], 8);
+    let keys = b.data_array("GKEY", data::group_keys(&mut rng, sz.lineitem as usize, groups), 4);
+
+    // Phase 1: regular scan of the qty and price columns computing disc_price.
+    b.loop_(sz.lineitem, |b, i| {
+        b.stmt(|s| {
+            s.read(lineitem, vec![at(i), field(0)])
+                .read(lineitem, vec![at(i), field(4)])
+                .fp(4)
+                .write(derived, vec![at(i)]);
+        });
+    });
+    // Phase 2: irregular aggregation by group key.
+    b.loop_(sz.lineitem, |b, i| {
+        b.stmt(|s| {
+            s.read(derived, vec![at(i)])
+                .gather(agg, keys, AffineExpr::var(i), 0)
+                .fp(2)
+                .scatter(agg, keys, AffineExpr::var(i), 0);
+        });
+    });
+    b.finish().expect("q1 is a valid program")
+}
+
+/// *TPC-D Q3*: shipping priority — build a hash table over `orders`
+/// (irregular), probe it from a `lineitem` row-store scan (irregular
+/// probes dominate), then a regular accumulation pass over the result.
+pub fn tpcd_q3(scale: Scale) -> Program {
+    let sz = TpcSizes::of(scale);
+    let mut rng = data::rng(0xD003);
+    let mut b = ProgramBuilder::new("tpcd_q3");
+    let orders = row_table(&mut b, "ORDERS", sz.orders);
+    let hash_size = ((sz.orders * 2) as u64).next_power_of_two() as i64;
+    let htab = b.array("HASH", &[hash_size], 8);
+    let ohash = b.data_array(
+        "OHASH",
+        data::uniform_indices(&mut rng, sz.orders as usize, hash_size),
+        4,
+    );
+    let lineitem = row_table(&mut b, "LINEITEM", sz.lineitem);
+    let lhash = b.data_array(
+        "LHASH",
+        data::uniform_indices(&mut rng, sz.lineitem as usize, hash_size),
+        4,
+    );
+    let result = b.array("RESULT", &[sz.lineitem], 8);
+
+    // Build phase: scan orders (regular reads) + hash scatter (irregular,
+    // dominating the mix with two probes per row).
+    b.loop_(sz.orders, |b, i| {
+        b.stmt(|s| {
+            s.read(orders, vec![at(i), field(0)])
+                .gather(htab, ohash, AffineExpr::var(i), 0)
+                .int(2)
+                .scatter(htab, ohash, AffineExpr::var(i), 0);
+        });
+    });
+    // Probe phase: scan lineitem, probe the hash table.
+    b.loop_(sz.lineitem, |b, i| {
+        b.stmt(|s| {
+            s.read(lineitem, vec![at(i), field(1)])
+                .gather(htab, lhash, AffineExpr::var(i), 0)
+                .gather(htab, lhash, AffineExpr::var(i), 1)
+                .gather(htab, lhash, AffineExpr::var(i), 2)
+                .int(3)
+                .write(result, vec![at(i)]);
+        });
+    });
+    // Accumulate phase: regular reduction over the result column plus a
+    // revenue re-scan of the row store (regular).
+    let acc: ScalarId = b.scalar();
+    b.loop_(sz.lineitem, |b, i| {
+        b.stmt(|s| {
+            s.read(result, vec![at(i)])
+                .read(lineitem, vec![at(i), field(4)])
+                .read_scalar(acc)
+                .fp(2)
+                .write_scalar(acc);
+        });
+    });
+    b.finish().expect("q3 is a valid program")
+}
+
+/// *TPC-D Q6*: forecasting revenue change — a predicated regular row-store
+/// scan with a small irregular date-dimension lookup.
+pub fn tpcd_q6(scale: Scale) -> Program {
+    let sz = TpcSizes::of(scale);
+    let mut rng = data::rng(0xD006);
+    let mut b = ProgramBuilder::new("tpcd_q6");
+    let lineitem = row_table(&mut b, "LINEITEM", sz.lineitem);
+    let revenue = b.array("REVENUE", &[sz.lineitem], 8);
+    let dates = b.array("DATES", &[2048], 8);
+    let dateidx = b.data_array(
+        "DATEIDX",
+        data::uniform_indices(&mut rng, (sz.lineitem / 8) as usize, 2048),
+        4,
+    );
+
+    // Main scan (regular): predicate evaluation + revenue computation over
+    // four attributes of the row store.
+    b.loop_(sz.lineitem, |b, i| {
+        b.stmt(|s| {
+            s.read(lineitem, vec![at(i), field(0)])
+                .read(lineitem, vec![at(i), field(4)])
+                .fp(3)
+                .write(revenue, vec![at(i)]);
+        });
+    });
+    // Date-dimension lookups (irregular, small).
+    b.loop_(sz.lineitem / 8, |b, i| {
+        b.stmt(|s| {
+            s.gather(dates, dateidx, AffineExpr::var(i), 0).int(2);
+        });
+    });
+    b.finish().expect("q6 is a valid program")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use selcache_ir::trace_len;
+
+    #[test]
+    fn all_build_and_validate() {
+        for p in [
+            tpcc(Scale::Tiny),
+            tpcd_q1(Scale::Tiny),
+            tpcd_q3(Scale::Tiny),
+            tpcd_q6(Scale::Tiny),
+        ] {
+            assert!(p.validate().is_ok(), "{} invalid", p.name);
+            assert!(trace_len(&p) > 1000, "{} too small", p.name);
+        }
+    }
+
+    #[test]
+    fn all_are_mixed() {
+        for p in [
+            tpcc(Scale::Tiny),
+            tpcd_q1(Scale::Tiny),
+            tpcd_q3(Scale::Tiny),
+            tpcd_q6(Scale::Tiny),
+        ] {
+            let mut total = 0usize;
+            let mut ana = 0usize;
+            p.for_each_stmt(|s| {
+                for r in &s.refs {
+                    total += 1;
+                    if r.pattern.is_analyzable() {
+                        ana += 1;
+                    }
+                }
+            });
+            assert!(ana > 0 && ana < total, "{}: {ana}/{total}", p.name);
+        }
+    }
+
+    #[test]
+    fn row_stores_are_wide() {
+        let p = tpcd_q1(Scale::Tiny);
+        assert_eq!(p.arrays[0].dims[1], FIELDS);
+        // Tables exceed the 512 KiB L2 at medium scale.
+        let m = tpcd_q1(Scale::Medium);
+        assert!(m.arrays[0].size_bytes() > 512 * 1024);
+    }
+
+    #[test]
+    fn sizes_scale() {
+        let t = TpcSizes::of(Scale::Tiny);
+        let m = TpcSizes::of(Scale::Medium);
+        assert!(m.lineitem > 4 * t.lineitem);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(tpcd_q3(Scale::Tiny), tpcd_q3(Scale::Tiny));
+    }
+}

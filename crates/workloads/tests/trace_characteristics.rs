@@ -1,0 +1,146 @@
+//! Trace-level characteristics of the benchmark suite: the dynamic
+//! properties the simulator relies on (dependence chains in pointer walks,
+//! assist-relevant access mixes, instruction-count ordering).
+
+use selcache_ir::{Interp, OpKind};
+use selcache_workloads::{Benchmark, Category, Scale};
+
+/// Memory-operation share of each benchmark's trace stays in a plausible
+/// band (the paper's codes are all data-intensive).
+#[test]
+fn memory_share_is_plausible() {
+    for bm in Benchmark::ALL {
+        let p = bm.build(Scale::Tiny);
+        let mut mem = 0u64;
+        let mut total = 0u64;
+        for op in Interp::new(&p) {
+            total += 1;
+            if op.kind.is_mem() {
+                mem += 1;
+            }
+        }
+        let share = mem as f64 / total as f64;
+        assert!(
+            (0.15..0.75).contains(&share),
+            "{bm}: memory share {share:.2} out of band"
+        );
+    }
+}
+
+/// Pointer-chasing benchmarks carry serial dependence chains: a load
+/// depending on the immediately preceding load (the next-pointer read).
+#[test]
+fn chase_benchmarks_have_dependent_loads() {
+    for bm in [Benchmark::Li, Benchmark::Perl, Benchmark::TpcC] {
+        let p = bm.build(Scale::Tiny);
+        let mut dependent_loads = 0u64;
+        let mut prev_was_load = false;
+        for op in Interp::new(&p) {
+            if let OpKind::Load(_) = op.kind {
+                if prev_was_load && op.dep == 1 {
+                    dependent_loads += 1;
+                }
+                prev_was_load = true;
+            } else {
+                prev_was_load = false;
+            }
+        }
+        assert!(
+            dependent_loads > 100,
+            "{bm}: expected serial load chains, found {dependent_loads}"
+        );
+    }
+}
+
+/// Regular benchmarks have no load-on-load dependences at all (pure affine
+/// address streams resolve without memory indirection).
+#[test]
+fn regular_benchmarks_have_independent_loads() {
+    for bm in [Benchmark::Swim, Benchmark::Vpenta, Benchmark::Adi, Benchmark::Mgrid] {
+        let p = bm.build(Scale::Tiny);
+        let mut prev_was_load = false;
+        for op in Interp::new(&p) {
+            if let OpKind::Load(_) = op.kind {
+                assert!(
+                    !(prev_was_load && op.dep == 1),
+                    "{bm}: unexpected load-on-load dependence"
+                );
+                prev_was_load = true;
+            } else {
+                prev_was_load = false;
+            }
+        }
+    }
+}
+
+/// Branch behaviour: the traces are loop-dominated, so the overwhelming
+/// majority of branches are taken (well-predicted by the bimodal table).
+#[test]
+fn branches_are_mostly_taken() {
+    for bm in Benchmark::ALL {
+        let p = bm.build(Scale::Tiny);
+        let mut taken = 0u64;
+        let mut total = 0u64;
+        for op in Interp::new(&p) {
+            if let OpKind::Branch { taken: t } = op.kind {
+                total += 1;
+                taken += u64::from(t);
+            }
+        }
+        assert!(total > 0, "{bm}: no branches");
+        let rate = taken as f64 / total as f64;
+        assert!(rate > 0.8, "{bm}: taken rate {rate:.2} too low for loop code");
+    }
+}
+
+/// Instruction counts follow the scale ordering for every benchmark.
+#[test]
+fn scales_are_monotone() {
+    for bm in Benchmark::ALL {
+        let tiny = Interp::new(&bm.build(Scale::Tiny)).count();
+        let small = Interp::new(&bm.build(Scale::Small)).count();
+        assert!(small > tiny, "{bm}: small ({small}) not larger than tiny ({tiny})");
+    }
+}
+
+/// Every benchmark writes something (no read-only traces) and reads more
+/// than it writes.
+#[test]
+fn read_write_mix() {
+    for bm in Benchmark::ALL {
+        let p = bm.build(Scale::Tiny);
+        let mut loads = 0u64;
+        let mut stores = 0u64;
+        for op in Interp::new(&p) {
+            match op.kind {
+                OpKind::Load(_) => loads += 1,
+                OpKind::Store(_) => stores += 1,
+                _ => {}
+            }
+        }
+        assert!(stores > 0, "{bm}: no stores");
+        assert!(loads > stores, "{bm}: loads {loads} <= stores {stores}");
+    }
+}
+
+/// Mixed benchmarks interleave their regular and irregular phases within a
+/// single run (the alternation the selective scheme exploits): the dynamic
+/// marker count of the selective binary exceeds one for phase-alternating
+/// codes.
+#[test]
+fn mixed_codes_alternate_phases() {
+    use selcache_workloads::Benchmark::*;
+    for bm in [Chaos, TpcC] {
+        assert_eq!(bm.category(), Category::Mixed);
+        let p = bm.build(Scale::Tiny);
+        // Count top-level-ish loop alternation through the item structure:
+        // at least two loops inside the time loop.
+        let outer = p.items[0].as_loop().expect("time loop");
+        let inner_loops = outer
+            .body
+            .iter()
+            .filter(|i| matches!(i, selcache_ir::Item::Loop(_)))
+            .count();
+        assert!(inner_loops >= 2, "{bm}: expected alternating phases, got {inner_loops}");
+    }
+}

@@ -1,0 +1,84 @@
+//! Locality analysis of the benchmark traces — the quantitative case for
+//! the paper's selective scheme:
+//!
+//! 1. **Phases**: mixed benchmarks alternate between working sets
+//!    ("programs have a phase-by-phase nature", §5.1), which is why one
+//!    always-on hardware policy cannot win everywhere.
+//! 2. **Miss-ratio curves**: the reuse-distance profile shows how much of
+//!    each benchmark's traffic any LRU cache size can capture — regular
+//!    codes have a locality knee the compiler can move, irregular codes do
+//!    not.
+//!
+//! ```text
+//! cargo run --release --example locality_analysis [-- <benchmark>]
+//! ```
+
+use selcache::analysis::{PhaseConfig, PhaseDetector, ReuseProfiler, TraceProfile};
+use selcache::ir::Interp;
+use selcache::workloads::{Benchmark, Scale};
+
+fn analyze(bm: Benchmark) {
+    let program = bm.build(Scale::Tiny);
+    println!("== {} ({}) ==", bm.name(), bm.category());
+
+    let mut reuse = ReuseProfiler::new(32);
+    let mut phases = PhaseDetector::new(PhaseConfig {
+        window: 8192,
+        signature_bits: 32 * 1024,
+        ..PhaseConfig::default()
+    });
+    for op in Interp::new(&program) {
+        if let Some(addr) = op.kind.addr() {
+            reuse.record(addr);
+            phases.record(addr);
+        }
+    }
+
+    // Miss-ratio curve at interesting cache sizes.
+    let curve = reuse.miss_ratio_curve(&[
+        8 * 1024,
+        32 * 1024,   // the machine's L1
+        128 * 1024,
+        512 * 1024,  // the machine's L2
+        2 * 1024 * 1024,
+    ]);
+    print!("  LRU miss-ratio curve:");
+    for (size, ratio) in curve {
+        print!("  {}K:{:.1}%", size / 1024, ratio * 100.0);
+    }
+    println!("  (footprint {} blocks)", reuse.footprint_blocks());
+
+    // Phase structure.
+    let phases = phases.finish();
+    println!("  {} phase(s):", phases.len());
+    for (k, p) in phases.iter().enumerate().take(8) {
+        println!("    phase {k}: accesses {}..{} ({} accesses)", p.start, p.end, p.len());
+    }
+    if phases.len() > 8 {
+        println!("    … {} more", phases.len() - 8);
+    }
+
+    // Per-array traffic.
+    let profile = TraceProfile::profile(&program, Interp::new(&program));
+    print!("{}", textwrap(&profile.to_string()));
+    println!();
+}
+
+fn textwrap(s: &str) -> String {
+    s.lines().map(|l| format!("  {l}\n")).collect()
+}
+
+fn main() {
+    let arg = std::env::args().nth(1);
+    match arg {
+        Some(name) => {
+            let bm = Benchmark::parse(&name).expect("benchmark name");
+            analyze(bm);
+        }
+        None => {
+            for bm in [Benchmark::Li, Benchmark::Chaos, Benchmark::Vpenta] {
+                analyze(bm);
+            }
+        }
+    }
+}

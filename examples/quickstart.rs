@@ -1,0 +1,67 @@
+//! Quickstart: run one benchmark through all four simulated versions of the
+//! paper (pure hardware, pure software, combined, selective) on the Table 1
+//! base machine and print the improvements.
+//!
+//! ```text
+//! cargo run --release --example quickstart [-- <benchmark>]
+//! ```
+
+use selcache::core::{AssistKind, Experiment, MachineConfig, Version};
+use selcache::workloads::{Benchmark, Scale};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "Chaos".to_string());
+    let benchmark = Benchmark::ALL
+        .into_iter()
+        .find(|b| b.name().eq_ignore_ascii_case(&name))
+        .unwrap_or_else(|| {
+            eprintln!("unknown benchmark {name:?}; available:");
+            for b in Benchmark::ALL {
+                eprintln!("  {b}");
+            }
+            std::process::exit(1);
+        });
+
+    let machine = MachineConfig::base();
+    println!("Table 1 base machine:");
+    println!("  issue width        {}", machine.cpu.issue_width);
+    println!(
+        "  L1 (data)          {}K, {}-way, {}-byte blocks",
+        machine.mem.l1d.size / 1024,
+        machine.mem.l1d.assoc,
+        machine.mem.l1d.block_size
+    );
+    println!(
+        "  L2                 {}K, {}-way, {}-byte blocks",
+        machine.mem.l2.size / 1024,
+        machine.mem.l2.assoc,
+        machine.mem.l2.block_size
+    );
+    println!(
+        "  latencies          L1 {} / L2 {} / memory {} cycles",
+        machine.mem.l1_latency, machine.mem.l2_latency, machine.mem.mem_latency
+    );
+    println!("  RUU / LSQ          {} / {}", machine.cpu.ruu_entries, machine.cpu.lsq_entries);
+    println!();
+
+    let exp = Experiment::new(machine, AssistKind::Bypass);
+    let scale = Scale::Small;
+    println!("benchmark {benchmark} ({}) at scale {scale}:", benchmark.category());
+    let base = exp.run(benchmark, scale, Version::Base);
+    println!(
+        "  base      : {:>12} cycles  ({} instructions, L1 miss {:.1}%, L2 miss {:.1}%)",
+        base.cycles,
+        base.instructions,
+        base.l1_miss_pct(),
+        base.l2_miss_pct()
+    );
+    for version in Version::REPORTED {
+        let r = exp.run(benchmark, scale, version);
+        println!(
+            "  {:<10}: {:>12} cycles  ({:+.2}% vs base)",
+            version.to_string().to_lowercase(),
+            r.cycles,
+            r.improvement_over(&base)
+        );
+    }
+}

@@ -1,0 +1,37 @@
+//! Sensitivity sweep (Section 5.1 of the paper): how the four versions
+//! respond to memory latency and associativity — built on the
+//! [`selcache::core`] sweep API, which also exports CSV for plotting.
+//!
+//! ```text
+//! cargo run --release --example sensitivity [-- <benchmark>]
+//! ```
+
+use selcache::core::{l1_assoc_sweep, memory_latency_sweep, AssistKind, Sweep};
+use selcache::workloads::{Benchmark, Scale};
+
+fn print_sweep(s: &Sweep) {
+    println!("{} sweep for {}:", s.parameter, s.benchmark);
+    println!(
+        "{:<10} {:>9} {:>9} {:>9} {:>9}",
+        s.parameter, "PureHW", "PureSW", "Combined", "Selective"
+    );
+    for p in &s.points {
+        println!(
+            "{:<10} {:>8.2}% {:>8.2}% {:>8.2}% {:>8.2}%",
+            p.value, p.improvements[0], p.improvements[1], p.improvements[2], p.improvements[3]
+        );
+    }
+    println!();
+}
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "Vpenta".to_string());
+    let benchmark = Benchmark::parse(&name).expect("benchmark name");
+    let scale = Scale::Tiny;
+
+    let lat = memory_latency_sweep(benchmark, scale, AssistKind::Bypass, &[50, 100, 200, 400]);
+    print_sweep(&lat);
+    let assoc = l1_assoc_sweep(benchmark, scale, AssistKind::Bypass, &[1, 2, 4, 8]);
+    print_sweep(&assoc);
+    println!("CSV (memory latency):\n{}", lat.to_csv());
+}

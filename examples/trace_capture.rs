@@ -1,0 +1,49 @@
+//! Capture-and-replay methodology: serialize a benchmark's dynamic trace to
+//! the compact binary format, then replay it into two different machine
+//! configurations without re-running the compiler or interpreter — the
+//! workflow SimpleScalar's EIO traces supported.
+//!
+//! ```text
+//! cargo run --release --example trace_capture [-- <benchmark>]
+//! ```
+
+use selcache::cpu::{CpuConfig, Pipeline};
+use selcache::ir::{Interp, TraceReader, TraceWriter};
+use selcache::mem::{AssistKind, HierarchyConfig, MemoryHierarchy};
+use selcache::workloads::{Benchmark, Scale};
+
+fn main() -> std::io::Result<()> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "TPC-D,Q6".to_string());
+    let benchmark = Benchmark::parse(&name).expect("benchmark name");
+    let program = benchmark.build(Scale::Tiny);
+
+    // Capture.
+    let mut buf = Vec::new();
+    let mut writer = TraceWriter::new(&mut buf)?;
+    for op in Interp::new(&program) {
+        writer.write(&op)?;
+    }
+    let ops = writer.count();
+    writer.finish()?;
+    println!(
+        "captured {ops} ops of {benchmark} into {} bytes ({:.2} bytes/op)",
+        buf.len(),
+        buf.len() as f64 / ops as f64
+    );
+
+    // Replay into two machines.
+    for (label, mem_latency) in [("base (100-cycle memory)", 100u64), ("slow (400-cycle memory)", 400)] {
+        let mut cfg = HierarchyConfig::paper_base(AssistKind::None);
+        cfg.mem_latency = mem_latency;
+        let mut mem = MemoryHierarchy::new(cfg);
+        let trace = TraceReader::new(&buf[..])?.map(|r| r.expect("valid trace"));
+        let stats = Pipeline::new(CpuConfig::paper_base()).run(trace, &mut mem);
+        println!(
+            "replay {label}: {} cycles, IPC {:.3}, L1 miss {:.1}%",
+            stats.cycles,
+            stats.ipc(),
+            mem.stats().l1d.miss_rate() * 100.0
+        );
+    }
+    Ok(())
+}

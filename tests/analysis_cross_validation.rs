@@ -1,0 +1,53 @@
+//! Cross-validation between the analysis crate's model-free predictions and
+//! the cycle-accurate simulator's measurements.
+
+use selcache::analysis::ReuseProfiler;
+use selcache::core::{AssistKind, Experiment, MachineConfig, Version};
+use selcache::ir::Interp;
+use selcache::workloads::{Benchmark, Scale};
+
+/// The Mattson fully-associative LRU miss ratio at the L1's capacity should
+/// track the simulated 4-way L1 miss rate: the FA model is a lower bound
+/// (set conflicts can only add misses), up to small write-path effects.
+#[test]
+fn reuse_profile_predicts_l1_miss_rate() {
+    for bm in [Benchmark::TpcDQ6, Benchmark::Li, Benchmark::Vpenta] {
+        let program = bm.build(Scale::Tiny);
+        let mut prof = ReuseProfiler::new(32);
+        for op in Interp::new(&program) {
+            if let Some(a) = op.kind.addr() {
+                prof.record(a);
+            }
+        }
+        // Bucketed curve brackets the true FA ratio between 32K and 64K.
+        let fa_upper = prof.histogram().miss_ratio(32 * 1024 / 32);
+        let fa_lower = prof.histogram().miss_ratio(64 * 1024 / 32);
+
+        let exp = Experiment::new(MachineConfig::base(), AssistKind::None);
+        let measured = exp.run_program(&program, Version::Base).mem.l1d.miss_rate();
+        assert!(
+            measured >= fa_lower - 0.05,
+            "{bm}: simulated {measured:.3} below FA lower bound {fa_lower:.3}"
+        );
+        assert!(
+            measured <= fa_upper + 0.25,
+            "{bm}: simulated {measured:.3} far above FA upper bound {fa_upper:.3}"
+        );
+    }
+}
+
+/// The footprint reported by the profiler matches the compulsory-miss count
+/// of the simulated L1 (both count distinct 32-byte blocks).
+#[test]
+fn footprint_equals_compulsory_misses() {
+    let program = Benchmark::Compress.build(Scale::Tiny);
+    let mut prof = ReuseProfiler::new(32);
+    for op in Interp::new(&program) {
+        if let Some(a) = op.kind.addr() {
+            prof.record(a);
+        }
+    }
+    let exp = Experiment::new(MachineConfig::base(), AssistKind::None);
+    let r = exp.run_program(&program, Version::Base);
+    assert_eq!(prof.footprint_blocks() as u64, r.mem.l1d.compulsory);
+}

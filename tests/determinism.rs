@@ -1,0 +1,51 @@
+//! Bit-reproducibility: every stage of the framework is deterministic, so
+//! a full experiment yields identical results on every run.
+
+use selcache::compiler::{selective, OptConfig};
+use selcache::core::{AssistKind, Experiment, MachineConfig, Version};
+use selcache::ir::Interp;
+use selcache::workloads::{Benchmark, Scale};
+
+#[test]
+fn benchmarks_build_identically() {
+    for bm in Benchmark::ALL {
+        assert_eq!(bm.build(Scale::Tiny), bm.build(Scale::Tiny), "{bm}");
+    }
+}
+
+#[test]
+fn traces_are_identical_across_runs() {
+    let p = Benchmark::TpcDQ3.build(Scale::Tiny);
+    let a: Vec<_> = Interp::new(&p).collect();
+    let b: Vec<_> = Interp::new(&p).collect();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn compilation_is_deterministic() {
+    let opt = OptConfig::default();
+    for bm in [Benchmark::Swim, Benchmark::Chaos] {
+        let p = bm.build(Scale::Tiny);
+        assert_eq!(selective(&p, &opt), selective(&p, &opt), "{bm}");
+    }
+}
+
+#[test]
+fn full_experiments_are_bit_reproducible() {
+    let exp = Experiment::new(MachineConfig::base(), AssistKind::Bypass);
+    for version in [Version::Base, Version::Selective] {
+        let a = exp.run(Benchmark::Li, Scale::Tiny, version);
+        let b = exp.run(Benchmark::Li, Scale::Tiny, version);
+        assert_eq!(a, b, "{version}");
+    }
+}
+
+#[test]
+fn victim_and_bypass_experiments_differ() {
+    // Sanity: the assists actually change the simulation.
+    let bypass = Experiment::new(MachineConfig::base(), AssistKind::Bypass);
+    let victim = Experiment::new(MachineConfig::base(), AssistKind::Victim);
+    let a = bypass.run(Benchmark::Perl, Scale::Tiny, Version::PureHardware);
+    let b = victim.run(Benchmark::Perl, Scale::Tiny, Version::PureHardware);
+    assert_ne!(a.cycles, b.cycles);
+}

@@ -1,0 +1,79 @@
+//! Dynamic ON/OFF semantics: after redundant-marker elimination, every
+//! executed marker must actually change the assist state, and preparation
+//! must never alter the program's computational work.
+
+use selcache::compiler::{selective, OptConfig};
+use selcache::ir::{Interp, OpKind};
+use selcache::workloads::{Benchmark, Scale};
+
+/// After elimination, the dynamic marker stream is non-redundant: starting
+/// from OFF, every AssistOn fires with the flag off and every AssistOff
+/// with the flag on.
+#[test]
+fn dynamic_marker_stream_is_non_redundant() {
+    let opt = OptConfig::default();
+    for bm in Benchmark::ALL {
+        let prepared = selective(&bm.build(Scale::Tiny), &opt);
+        let mut state = false;
+        let mut toggles = 0u64;
+        for op in Interp::new(&prepared) {
+            match op.kind {
+                OpKind::AssistOn => {
+                    assert!(!state, "{bm}: redundant ON executed");
+                    state = true;
+                    toggles += 1;
+                }
+                OpKind::AssistOff => {
+                    assert!(state, "{bm}: redundant OFF executed");
+                    state = false;
+                    toggles += 1;
+                }
+                _ => {}
+            }
+        }
+        // Irregular and mixed codes must actually use the assist.
+        if bm.category() != selcache::workloads::Category::Regular {
+            assert!(toggles > 0, "{bm}: no toggles executed");
+        }
+    }
+}
+
+/// The selective preparation preserves the benchmark's floating-point work
+/// (nothing is lost or duplicated by marking).
+#[test]
+fn preparation_preserves_fp_work() {
+    let opt = OptConfig::default();
+    for bm in [Benchmark::Chaos, Benchmark::TpcDQ1, Benchmark::Swim] {
+        let base = bm.build(Scale::Tiny);
+        let prepared = selective(&base, &opt);
+        let fp = |p: &selcache::ir::Program| {
+            Interp::new(p).filter(|o| o.kind == OpKind::FpAlu).count()
+        };
+        assert_eq!(fp(&base), fp(&prepared), "{bm}: fp work changed");
+    }
+}
+
+/// Markers are the only instruction-count difference between the pure
+/// software and selective binaries.
+#[test]
+fn markers_are_the_only_selective_overhead() {
+    use selcache::compiler::optimize;
+    let opt = OptConfig::default();
+    for bm in [Benchmark::Chaos, Benchmark::TpcC] {
+        let base = bm.build(Scale::Tiny);
+        let sw = optimize(&base, &opt);
+        let sel = selective(&base, &opt);
+        let count = |p: &selcache::ir::Program, markers: bool| {
+            Interp::new(p)
+                .filter(|o| {
+                    matches!(o.kind, OpKind::AssistOn | OpKind::AssistOff) == markers
+                })
+                .count()
+        };
+        let sw_non_marker = count(&sw, false);
+        let sel_non_marker = count(&sel, false);
+        assert_eq!(sw_non_marker, sel_non_marker, "{bm}: non-marker work differs");
+        assert_eq!(count(&sw, true), 0, "{bm}: software code must carry no markers");
+        assert!(count(&sel, true) > 0, "{bm}: selective code must carry markers");
+    }
+}
