@@ -3,48 +3,79 @@
 //! threshold, the MAT geometry, redundant-marker elimination, fine-grained
 //! region coalescing, and each compiler pass.
 //!
+//! Each study submits its whole grid as one job set: the engine runs the
+//! cells in parallel and deduplicates shared runs (e.g. the threshold
+//! sweep's Base runs, which are threshold-independent).
+//!
 //! Usage: `cargo run --release -p selcache-bench --bin ablations
-//! [-- --scale tiny|small|medium]`
+//! [-- --scale tiny|small|medium] [--threads N]`
 
-use selcache_core::{AssistKind, Benchmark, Experiment, MachineConfig, Scale, Version};
+use selcache_bench::Cli;
 use selcache_compiler::{
     detect_and_mark_with, eliminate_redundant_markers, optimize, OptConfig,
+};
+use selcache_core::{
+    AssistKind, Benchmark, Experiment, JobEngine, MachineConfig, Scale, SimJob, SimResult, Version,
 };
 use selcache_cpu::CpuModel;
 use selcache_ir::{Interp, OpKind};
 
 fn main() {
-    let cli = selcache_bench::cli();
+    let cli = Cli::from_env();
+    let engine = cli.engine();
     let scale = cli.scale;
-    cpu_model_ablation(scale);
-    threshold_ablation(scale);
-    mat_ablation(scale);
+    cpu_model_ablation(&engine, scale);
+    threshold_ablation(&engine, scale);
+    mat_ablation(&engine, scale);
     marker_elimination_ablation(scale);
     region_granularity_ablation(scale);
-    pass_ablation(scale);
-    fusion_distribution_ablation(scale);
+    pass_ablation(&engine, scale);
+    fusion_distribution_ablation(&engine, scale);
 }
 
-fn improvement(exp: &Experiment, bm: Benchmark, scale: Scale, version: Version) -> f64 {
-    let p = bm.build(scale);
-    let base = exp.run_program(&p, Version::Base);
-    let prepared = exp.prepare(&p, version);
-    exp.run_program(&prepared, version).improvement_over(&base)
+/// A `(Base, version)` job pair for one grid cell; run the collected pairs
+/// through [`improvements`] to fold them back into one number per cell.
+fn pair(
+    bm: Benchmark,
+    scale: Scale,
+    machine: &MachineConfig,
+    assist: AssistKind,
+    version: Version,
+    opt: Option<OptConfig>,
+) -> [SimJob; 2] {
+    let job = |v| {
+        let j = SimJob::new(bm, scale, machine.clone(), assist, v);
+        match opt {
+            Some(o) => j.with_opt(o),
+            None => j,
+        }
+    };
+    [job(Version::Base), job(version)]
+}
+
+/// Runs the pairs as one job set and returns each cell's improvement.
+fn improvements(engine: &JobEngine, pairs: Vec<[SimJob; 2]>) -> Vec<f64> {
+    let jobs: Vec<SimJob> = pairs.into_iter().flatten().collect();
+    let results = engine.run(&jobs);
+    results.chunks_exact(2).map(|c| c[1].improvement_over(&c[0])).collect()
 }
 
 /// Ablation 1 (DESIGN.md): the OOO core's latency hiding. An in-order core
 /// exposes more memory latency, so every improvement grows.
-fn cpu_model_ablation(scale: Scale) {
+fn cpu_model_ablation(engine: &JobEngine, scale: Scale) {
     println!("== Ablation: CPU timing model (selective improvement, bypass assist) ==");
     println!("{:<12} {:>14} {:>14}", "Benchmark", "OutOfOrder", "InOrder");
-    for bm in [Benchmark::Vpenta, Benchmark::Perl, Benchmark::TpcDQ3] {
-        let mut row = Vec::new();
+    let benchmarks = [Benchmark::Vpenta, Benchmark::Perl, Benchmark::TpcDQ3];
+    let mut pairs = Vec::new();
+    for bm in benchmarks {
         for model in [CpuModel::OutOfOrder, CpuModel::InOrder] {
             let mut machine = MachineConfig::base();
             machine.cpu.model = model;
-            let exp = Experiment::new(machine, AssistKind::Bypass);
-            row.push(improvement(&exp, bm, scale, Version::Selective));
+            pairs.push(pair(bm, scale, &machine, AssistKind::Bypass, Version::Selective, None));
         }
+    }
+    let cells = improvements(engine, pairs);
+    for (bm, row) in benchmarks.iter().zip(cells.chunks_exact(2)) {
         println!("{:<12} {:>13.2}% {:>13.2}%", bm.name(), row[0], row[1]);
     }
     println!();
@@ -52,7 +83,7 @@ fn cpu_model_ablation(scale: Scale) {
 
 /// Ablation 3 (DESIGN.md): the 0.5 region threshold. The paper reports it
 /// is not critical because regions are 90–100 % pure.
-fn threshold_ablation(scale: Scale) {
+fn threshold_ablation(engine: &JobEngine, scale: Scale) {
     println!("== Ablation: region-detection threshold (selective improvement) ==");
     print!("{:<12}", "Benchmark");
     let thresholds = [0.1, 0.3, 0.5, 0.7, 0.9];
@@ -60,12 +91,22 @@ fn threshold_ablation(scale: Scale) {
         print!(" {t:>8.1}");
     }
     println!();
-    for bm in [Benchmark::Chaos, Benchmark::TpcDQ1, Benchmark::Li] {
-        print!("{:<12}", bm.name());
+    let benchmarks = [Benchmark::Chaos, Benchmark::TpcDQ1, Benchmark::Li];
+    let machine = MachineConfig::base();
+    let mut pairs = Vec::new();
+    for bm in benchmarks {
         for t in thresholds {
             let opt = OptConfig { threshold: t, ..OptConfig::default() };
-            let exp = Experiment::with_opt(MachineConfig::base(), AssistKind::Bypass, opt);
-            print!(" {:>7.2}%", improvement(&exp, bm, scale, Version::Selective));
+            pairs.push(pair(bm, scale, &machine, AssistKind::Bypass, Version::Selective, Some(opt)));
+        }
+    }
+    // The five thresholds share each benchmark's Base run (raw code has no
+    // threshold); the engine executes it once per benchmark.
+    let cells = improvements(engine, pairs);
+    for (bm, row) in benchmarks.iter().zip(cells.chunks_exact(thresholds.len())) {
+        print!("{:<12}", bm.name());
+        for v in row {
+            print!(" {v:>7.2}%");
         }
         println!();
     }
@@ -73,7 +114,7 @@ fn threshold_ablation(scale: Scale) {
 }
 
 /// Ablation 2 (DESIGN.md): MAT macro-block size (1 KiB in the paper).
-fn mat_ablation(scale: Scale) {
+fn mat_ablation(engine: &JobEngine, scale: Scale) {
     println!("== Ablation: MAT macro-block size (pure-hardware improvement) ==");
     print!("{:<12}", "Benchmark");
     let sizes = [256u64, 1024, 4096];
@@ -81,14 +122,21 @@ fn mat_ablation(scale: Scale) {
         print!(" {:>8}", format!("{}B", s));
     }
     println!();
-    for bm in [Benchmark::Perl, Benchmark::Li, Benchmark::Compress] {
-        print!("{:<12}", bm.name());
+    let benchmarks = [Benchmark::Perl, Benchmark::Li, Benchmark::Compress];
+    let mut pairs = Vec::new();
+    for bm in benchmarks {
         for s in sizes {
             let mut machine = MachineConfig::base();
             machine.mem.bypass.mat.macro_block = s;
             machine.mem.bypass.sldt.macro_block = s;
-            let exp = Experiment::new(machine, AssistKind::Bypass);
-            print!(" {:>7.2}%", improvement(&exp, bm, scale, Version::PureHardware));
+            pairs.push(pair(bm, scale, &machine, AssistKind::Bypass, Version::PureHardware, None));
+        }
+    }
+    let cells = improvements(engine, pairs);
+    for (bm, row) in benchmarks.iter().zip(cells.chunks_exact(sizes.len())) {
+        print!("{:<12}", bm.name());
+        for v in row {
+            print!(" {v:>7.2}%");
         }
         println!();
     }
@@ -117,6 +165,7 @@ fn marker_elimination_ablation(scale: Scale) {
 
 /// Region-granularity ablation: per-region bracketing vs. coalescing
 /// fine-grained mixed loops (executed toggles + selective improvement).
+/// Runs hand-marked programs, so it stays on [`Experiment::run_program`].
 fn region_granularity_ablation(scale: Scale) {
     println!("== Ablation: fine-grained region coalescing (TPC-C) ==");
     let opt = OptConfig::default();
@@ -141,37 +190,29 @@ fn region_granularity_ablation(scale: Scale) {
 }
 
 /// Extension passes: loop fusion and distribution (off by default).
-fn fusion_distribution_ablation(scale: Scale) {
+fn fusion_distribution_ablation(engine: &JobEngine, scale: Scale) {
     println!("== Ablation: extension passes (pure software improvement) ==");
     println!("{:<12} {:>10} {:>10} {:>12}", "Benchmark", "default", "+fusion", "+distribution");
-    let exp = Experiment::new(MachineConfig::base(), AssistKind::None);
-    for bm in [Benchmark::Swim, Benchmark::Vpenta, Benchmark::TpcDQ1] {
-        let p = bm.build(scale);
-        let base = exp.run_program(&p, Version::Base);
-        let mut row = Vec::new();
+    let benchmarks = [Benchmark::Swim, Benchmark::Vpenta, Benchmark::TpcDQ1];
+    let machine = MachineConfig::base();
+    let mut pairs = Vec::new();
+    for bm in benchmarks {
         for (fusion, distribute) in [(false, false), (true, false), (false, true)] {
             let cfg = OptConfig { fusion, distribute, ..OptConfig::default() };
-            let o = optimize(&p, &cfg);
-            let r = exp.run_program(&o, Version::PureSoftware);
-            row.push(r.improvement_over(&base));
+            pairs.push(pair(bm, scale, &machine, AssistKind::None, Version::PureSoftware, Some(cfg)));
         }
-        println!(
-            "{:<12} {:>9.2}% {:>9.2}% {:>11.2}%",
-            bm.name(),
-            row[0],
-            row[1],
-            row[2]
-        );
+    }
+    let cells = improvements(engine, pairs);
+    for (bm, row) in benchmarks.iter().zip(cells.chunks_exact(3)) {
+        println!("{:<12} {:>9.2}% {:>9.2}% {:>11.2}%", bm.name(), row[0], row[1], row[2]);
     }
     println!();
 }
 
 /// Per-pass contribution to the software improvement on Vpenta.
-fn pass_ablation(scale: Scale) {
+fn pass_ablation(engine: &JobEngine, scale: Scale) {
     println!("== Ablation: compiler pass contributions (Vpenta, pure software) ==");
-    let p = Benchmark::Vpenta.build(scale);
-    let exp = Experiment::new(MachineConfig::base(), AssistKind::None);
-    let base = exp.run_program(&p, Version::Base);
+    let machine = MachineConfig::base();
     let variants: [(&str, OptConfig); 5] = [
         ("none", OptConfig {
             pad: false,
@@ -197,10 +238,33 @@ fn pass_ablation(scale: Scale) {
         ("+layout", OptConfig { tile: false, scalar_replacement: false, ..OptConfig::default() }),
         ("all passes", OptConfig::default()),
     ];
-    for (name, cfg) in variants {
-        let o = optimize(&p, &cfg);
-        let r = exp.run_program(&o, Version::PureSoftware);
-        println!("{name:<14} improvement={:.2}%  l1 miss={:.1}%", r.improvement_over(&base), r.l1_miss_pct());
+    let mut jobs = vec![SimJob::new(
+        Benchmark::Vpenta,
+        scale,
+        machine.clone(),
+        AssistKind::None,
+        Version::Base,
+    )];
+    for (_, cfg) in &variants {
+        jobs.push(
+            SimJob::new(
+                Benchmark::Vpenta,
+                scale,
+                machine.clone(),
+                AssistKind::None,
+                Version::PureSoftware,
+            )
+            .with_opt(*cfg),
+        );
+    }
+    let results = engine.run(&jobs);
+    let base: SimResult = results[0];
+    for ((name, _), r) in variants.iter().zip(&results[1..]) {
+        println!(
+            "{name:<14} improvement={:.2}%  l1 miss={:.1}%",
+            r.improvement_over(&base),
+            r.l1_miss_pct()
+        );
     }
     println!();
 }

@@ -7,18 +7,21 @@
 //!    unroll-and-jam) measured on top of the default pipeline.
 //!
 //! Usage: `cargo run --release -p selcache-bench --bin extensions
-//! [-- --scale tiny|small|medium]`
+//! [-- --scale tiny|small|medium] [--threads N]`
 
+use selcache_bench::Cli;
 use selcache_compiler::{insert_markers_for, optimize, AssistPolicy, OptConfig};
 use selcache_core::{
-    AssistKind, Benchmark, Experiment, MachineConfig, Scale, SuiteResult, Version,
+    AssistKind, Benchmark, Experiment, JobEngine, MachineConfig, Scale, SimJob, SuiteResult,
+    Version,
 };
 
 fn main() {
-    let cli = selcache_bench::cli();
-    assists_table(cli.scale);
+    let cli = Cli::from_env();
+    let engine = cli.engine();
+    assists_table(&engine, cli.scale);
     assist_aware_selective(cli.scale);
-    extension_passes(cli.scale);
+    extension_passes(&engine, cli.scale);
 }
 
 /// Assist-aware region preference: the selective scheme with the marker
@@ -26,38 +29,62 @@ fn main() {
 /// irregular-regions rule forfeits most of the benefit; enabling it on the
 /// *regular* regions recovers the combined version's gains while still
 /// switching it off where it would pollute.
+///
+/// The marked programs are built by hand (per policy), so this study stays
+/// on [`Experiment::run_program`]; the Base runs are computed once and
+/// shared by all three policies.
 fn assist_aware_selective(scale: Scale) {
     println!("== Extension: assist-aware selective (stream buffers) ==");
     println!("{:<24} {:>10}", "Policy", "Average");
     let exp = Experiment::new(MachineConfig::base(), AssistKind::Stream);
+    let prepared: Vec<_> = Benchmark::ALL
+        .iter()
+        .map(|bm| {
+            let p = bm.build(scale);
+            let base = exp.run_program(&p, Version::Base);
+            (optimize(&p, exp.opt()), base)
+        })
+        .collect();
     for (name, policy) in [
         ("paper rule (irregular)", AssistPolicy::IrregularRegions),
         ("inverted (regular)", AssistPolicy::RegularRegions),
         ("always on (combined)", AssistPolicy::Always),
     ] {
         let mut total = 0.0;
-        for bm in Benchmark::ALL {
-            let p = bm.build(scale);
-            let base = exp.run_program(&p, Version::Base);
-            let optimized = optimize(&p, exp.opt());
-            let marked = insert_markers_for(&optimized, exp.opt().threshold, policy);
+        for (optimized, base) in &prepared {
+            let marked = insert_markers_for(optimized, exp.opt().threshold, policy);
             let r = exp.run_program(&marked, Version::Selective);
-            total += r.improvement_over(&base);
+            total += r.improvement_over(base);
         }
         println!("{:<24} {:>9.2}%", name, total / Benchmark::ALL.len() as f64);
     }
     println!();
 }
 
-fn assists_table(scale: Scale) {
+/// All three assists on the base machine as one job set: the 13 Base and
+/// 13 PureSoftware runs are assist-independent, so the engine executes
+/// them once and shares them across the three suites.
+fn assists_table(engine: &JobEngine, scale: Scale) {
     println!("== Extension: all three hardware assists, base machine ==");
     println!(
         "{:<10} {:>9} {:>9} {:>9} {:>9}",
         "Assist", "PureHW", "PureSW", "Combined", "Selective"
     );
-    for assist in [AssistKind::Bypass, AssistKind::Victim, AssistKind::Stream] {
-        eprintln!("running {assist:?} suite at scale {scale}…");
-        let s = SuiteResult::run(MachineConfig::base(), assist, scale);
+    let machine = MachineConfig::base();
+    let assists = [AssistKind::Bypass, AssistKind::Victim, AssistKind::Stream];
+    eprintln!(
+        "running {} suites at scale {scale} ({} threads)…",
+        assists.len(),
+        engine.threads()
+    );
+    let mut jobs = Vec::new();
+    for &assist in &assists {
+        jobs.extend(SuiteResult::jobs(&machine, assist, scale, &Benchmark::ALL));
+    }
+    let results = engine.run(&jobs);
+    let per_suite = jobs.len() / assists.len();
+    for (assist, chunk) in assists.iter().zip(results.chunks_exact(per_suite)) {
+        let s = SuiteResult::from_results(machine.name, *assist, &Benchmark::ALL, chunk);
         println!(
             "{:<10} {:>8.2}% {:>8.2}% {:>8.2}% {:>8.2}%",
             format!("{assist:?}"),
@@ -70,28 +97,35 @@ fn assists_table(scale: Scale) {
     println!();
 }
 
-fn extension_passes(scale: Scale) {
+fn extension_passes(engine: &JobEngine, scale: Scale) {
     println!("== Extension: compiler passes beyond the paper's list ==");
     println!(
         "{:<12} {:>9} {:>9} {:>9} {:>12}",
         "Benchmark", "default", "+fusion", "+unroll", "+distribute"
     );
-    let exp = Experiment::new(MachineConfig::base(), AssistKind::None);
-    for bm in [Benchmark::Vpenta, Benchmark::Swim, Benchmark::TpcDQ1, Benchmark::Chaos] {
-        let p = bm.build(scale);
-        let base = exp.run_program(&p, Version::Base);
-        let mut cells = Vec::new();
-        for (fusion, unroll_jam, distribute) in [
-            (false, false, false),
-            (true, false, false),
-            (false, true, false),
-            (false, false, true),
-        ] {
+    let machine = MachineConfig::base();
+    let benchmarks = [Benchmark::Vpenta, Benchmark::Swim, Benchmark::TpcDQ1, Benchmark::Chaos];
+    let configs = [
+        (false, false, false),
+        (true, false, false),
+        (false, true, false),
+        (false, false, true),
+    ];
+    let mut jobs = Vec::new();
+    for &bm in &benchmarks {
+        jobs.push(SimJob::new(bm, scale, machine.clone(), AssistKind::None, Version::Base));
+        for &(fusion, unroll_jam, distribute) in &configs {
             let cfg = OptConfig { fusion, unroll_jam, distribute, ..OptConfig::default() };
-            let o = optimize(&p, &cfg);
-            let r = exp.run_program(&o, Version::PureSoftware);
-            cells.push(r.improvement_over(&base));
+            jobs.push(
+                SimJob::new(bm, scale, machine.clone(), AssistKind::None, Version::PureSoftware)
+                    .with_opt(cfg),
+            );
         }
+    }
+    let results = engine.run(&jobs);
+    for (bm, chunk) in benchmarks.iter().zip(results.chunks_exact(1 + configs.len())) {
+        let base = chunk[0];
+        let cells: Vec<f64> = chunk[1..].iter().map(|r| r.improvement_over(&base)).collect();
         println!(
             "{:<12} {:>8.2}% {:>8.2}% {:>8.2}% {:>11.2}%",
             bm.name(),

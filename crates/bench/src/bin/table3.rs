@@ -1,15 +1,22 @@
 //! Regenerates Table 3 of the paper: average improvements of every version
 //! (both assists) across all six machine configurations.
-use selcache_core::{format_table3, table3_row, Benchmark, ConfigVariant};
+//!
+//! All twelve suites (six machines x two assists) are submitted as one job
+//! set, so the engine shares each machine's Base and PureSoftware runs
+//! between its bypass and victim sweeps and keeps every core busy.
+use selcache_bench::Cli;
+use selcache_core::{format_table3, table3_rows, ConfigVariant};
 
 fn main() {
-    let cli = selcache_bench::cli();
-    let rows: Vec<_> = ConfigVariant::ALL
-        .iter()
-        .map(|v| {
-            eprintln!("running {} (both assists) at scale {}…", v, cli.scale);
-            table3_row(v.machine(), cli.scale, &Benchmark::ALL)
-        })
-        .collect();
+    let cli = Cli::from_env();
+    let engine = cli.engine();
+    let machines: Vec<_> = ConfigVariant::ALL.iter().map(|v| v.machine()).collect();
+    eprintln!(
+        "running {} machine configurations (both assists) at scale {} ({} threads)…",
+        machines.len(),
+        cli.scale,
+        engine.threads()
+    );
+    let rows = table3_rows(&engine, &machines, cli.scale, &cli.benchmarks());
     print!("{}", format_table3(&rows));
 }

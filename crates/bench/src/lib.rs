@@ -14,18 +14,81 @@
 //! | `fig9`   | Figure 9 | % improvement, 8-way L1 |
 //! | `table3` | Table 3  | average improvements across all six machines and both assists |
 //!
-//! Every binary accepts `--scale tiny|small|medium` (default `small`) and
-//! `--victim` to switch the figures to the victim-cache assist. Criterion
-//! benches (`cargo bench`) measure simulator component throughput and run
-//! the ablation studies listed in `DESIGN.md`.
+//! Every binary accepts `--scale tiny|small|medium` (default `small`),
+//! `--victim`/`--stream` to switch the figures' assist, `--threads N` to
+//! size the simulation pool (default: all cores; output is identical for
+//! every `N`), and `--subset bench,bench,...` to restrict the suite.
+//! Criterion benches (`cargo bench`) measure simulator component
+//! throughput and run the ablation studies listed in `DESIGN.md`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use selcache_core::{AssistKind, ConfigVariant, Scale, SuiteResult};
+use selcache_core::{AssistKind, Benchmark, ConfigVariant, JobEngine, Scale, SuiteResult};
+use std::fmt;
+
+/// Usage string the binaries print when argument parsing fails.
+pub const USAGE: &str = "usage: [--scale tiny|small|medium] [--bypass|--victim|--stream] \
+[--threads N] [--subset bench,bench,...] [--csv <path>]";
+
+/// Why the command line failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    /// Argument not recognized by any binary.
+    UnknownArgument(String),
+    /// A flag that takes a value appeared last.
+    MissingValue(&'static str),
+    /// `--scale` value was not `tiny|small|medium`.
+    InvalidScale(String),
+    /// `--threads` value was not a non-negative integer.
+    InvalidThreads(String),
+    /// A `--subset` entry named no known benchmark.
+    UnknownBenchmark(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::UnknownArgument(a) => write!(f, "unknown argument {a:?}"),
+            CliError::MissingValue(flag) => write!(f, "{flag} needs a value"),
+            CliError::InvalidScale(v) => {
+                write!(f, "unknown scale {v:?}; use tiny|small|medium")
+            }
+            CliError::InvalidThreads(v) => {
+                write!(f, "invalid --threads {v:?}; use a non-negative integer (0 = all cores)")
+            }
+            CliError::UnknownBenchmark(v) => {
+                write!(f, "unknown benchmark {v:?}; known: {}", known_benchmarks())
+            }
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn known_benchmarks() -> String {
+    let names: Vec<&str> = Benchmark::ALL.iter().map(|b| b.name()).collect();
+    names.join(" ")
+}
+
+/// `--subset` entry lookup: exact display name first, then a form with
+/// punctuation stripped so the comma-bearing TPC-D names stay addressable
+/// inside a comma-separated list (`tpc-dq6`, `tpcdq6`).
+fn parse_benchmark(token: &str) -> Option<Benchmark> {
+    Benchmark::parse(token).or_else(|| {
+        let canon = |s: &str| {
+            s.chars().filter(char::is_ascii_alphanumeric).collect::<String>().to_ascii_lowercase()
+        };
+        let wanted = canon(token);
+        if wanted.is_empty() {
+            return None;
+        }
+        Benchmark::ALL.into_iter().find(|b| canon(b.name()) == wanted)
+    })
+}
 
 /// Parsed command line shared by the figure/table binaries.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Cli {
     /// Workload scale.
     pub scale: Scale,
@@ -33,50 +96,116 @@ pub struct Cli {
     pub assist: AssistKind,
     /// Optional CSV output path for the figure data.
     pub csv: Option<std::path::PathBuf>,
+    /// Worker threads for the job engine (`0` = all available cores).
+    pub threads: usize,
+    /// Benchmarks to run (`None` = the full suite).
+    pub subset: Option<Vec<Benchmark>>,
 }
 
-/// Parses `--scale <s>`, `--victim`/`--stream`, and `--csv <path>` from
-/// `std::env::args`.
-///
-/// # Panics
-///
-/// Panics with a usage message on an unknown argument.
-pub fn cli() -> Cli {
-    let mut out = Cli { scale: Scale::Small, assist: AssistKind::Bypass, csv: None };
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        match a.as_str() {
-            "--scale" => {
-                let v = args.next().unwrap_or_default();
-                out.scale = Scale::parse(&v)
-                    .unwrap_or_else(|| panic!("unknown scale {v:?}; use tiny|small|medium"));
-            }
-            "--victim" => out.assist = AssistKind::Victim,
-            "--bypass" => out.assist = AssistKind::Bypass,
-            "--stream" => out.assist = AssistKind::Stream,
-            "--csv" => {
-                let v = args.next().unwrap_or_else(|| panic!("--csv needs a path"));
-                out.csv = Some(v.into());
-            }
-            other => panic!(
-                "unknown argument {other:?}; usage: [--scale tiny|small|medium] [--victim|--stream] [--csv <path>]"
-            ),
+impl Default for Cli {
+    fn default() -> Self {
+        Cli {
+            scale: Scale::Small,
+            assist: AssistKind::Bypass,
+            csv: None,
+            threads: 0,
+            subset: None,
         }
     }
-    out
+}
+
+impl Cli {
+    /// Parses an argument list (without the program name).
+    pub fn parse<I, S>(args: I) -> Result<Cli, CliError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut out = Cli::default();
+        let mut args = args.into_iter().map(Into::into);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--scale" => {
+                    let v = args.next().ok_or(CliError::MissingValue("--scale"))?;
+                    out.scale = Scale::parse(&v).ok_or(CliError::InvalidScale(v))?;
+                }
+                "--victim" => out.assist = AssistKind::Victim,
+                "--bypass" => out.assist = AssistKind::Bypass,
+                "--stream" => out.assist = AssistKind::Stream,
+                "--threads" => {
+                    let v = args.next().ok_or(CliError::MissingValue("--threads"))?;
+                    out.threads = v.parse().map_err(|_| CliError::InvalidThreads(v))?;
+                }
+                "--subset" => {
+                    let v = args.next().ok_or(CliError::MissingValue("--subset"))?;
+                    let mut subset = Vec::new();
+                    for token in v.split(',').filter(|t| !t.trim().is_empty()) {
+                        let bm = parse_benchmark(token.trim())
+                            .ok_or_else(|| CliError::UnknownBenchmark(token.trim().into()))?;
+                        if !subset.contains(&bm) {
+                            subset.push(bm);
+                        }
+                    }
+                    if !subset.is_empty() {
+                        out.subset = Some(subset);
+                    }
+                }
+                "--csv" => {
+                    let v = args.next().ok_or(CliError::MissingValue("--csv"))?;
+                    out.csv = Some(v.into());
+                }
+                other => return Err(CliError::UnknownArgument(other.into())),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Parses `std::env::args`; on failure prints the error plus [`USAGE`]
+    /// to stderr and exits with status 2.
+    pub fn from_env() -> Cli {
+        match Cli::parse(std::env::args().skip(1)) {
+            Ok(cli) => cli,
+            Err(e) => {
+                eprintln!("error: {e}");
+                eprintln!("{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// The benchmarks this invocation covers.
+    pub fn benchmarks(&self) -> Vec<Benchmark> {
+        match &self.subset {
+            Some(s) => s.clone(),
+            None => Benchmark::ALL.to_vec(),
+        }
+    }
+
+    /// A job engine sized per `--threads`.
+    pub fn engine(&self) -> JobEngine {
+        JobEngine::new(self.threads)
+    }
 }
 
 /// Runs and prints one figure (4–9) for the chosen variant, optionally
 /// writing the per-benchmark data as CSV.
 pub fn run_figure(variant: ConfigVariant) {
-    let cli = cli();
+    let cli = Cli::from_env();
+    let engine = cli.engine();
     eprintln!(
-        "running {} suite at scale {} ({:?} assist)…",
+        "running {} suite at scale {} ({:?} assist, {} threads)…",
         variant,
         cli.scale,
-        cli.assist
+        cli.assist,
+        engine.threads()
     );
-    let suite = SuiteResult::run(variant.machine(), cli.assist, cli.scale);
+    let suite = SuiteResult::run_with(
+        &engine,
+        variant.machine(),
+        cli.assist,
+        cli.scale,
+        &cli.benchmarks(),
+    );
     print!("{}", suite.format_figure(variant.figure()));
     if let Some(path) = &cli.csv {
         if let Err(e) = std::fs::write(path, suite.to_csv()) {
@@ -93,8 +222,60 @@ mod tests {
 
     #[test]
     fn default_cli() {
-        let c = Cli { scale: Scale::Small, assist: AssistKind::Bypass, csv: None };
+        let c = Cli::parse(Vec::<String>::new()).unwrap();
+        assert_eq!(c, Cli::default());
         assert_eq!(c.scale, Scale::Small);
-        assert!(c.csv.is_none());
+        assert_eq!(c.benchmarks().len(), 13);
+        assert!(c.engine().threads() >= 1);
+    }
+
+    #[test]
+    fn parses_every_flag() {
+        let c = Cli::parse([
+            "--scale", "tiny", "--victim", "--threads", "4", "--subset", "adi,li,tpc-dq6",
+            "--csv", "/tmp/out.csv",
+        ])
+        .unwrap();
+        assert_eq!(c.scale, Scale::Tiny);
+        assert_eq!(c.assist, AssistKind::Victim);
+        assert_eq!(c.threads, 4);
+        assert_eq!(
+            c.benchmarks(),
+            vec![Benchmark::Adi, Benchmark::Li, Benchmark::TpcDQ6]
+        );
+        assert_eq!(c.csv.as_deref(), Some(std::path::Path::new("/tmp/out.csv")));
+    }
+
+    #[test]
+    fn errors_are_reported_not_panicked() {
+        assert_eq!(
+            Cli::parse(["--frobnicate"]),
+            Err(CliError::UnknownArgument("--frobnicate".into()))
+        );
+        assert_eq!(Cli::parse(["--scale"]), Err(CliError::MissingValue("--scale")));
+        assert_eq!(
+            Cli::parse(["--scale", "huge"]),
+            Err(CliError::InvalidScale("huge".into()))
+        );
+        assert_eq!(
+            Cli::parse(["--threads", "-1"]),
+            Err(CliError::InvalidThreads("-1".into()))
+        );
+        assert_eq!(
+            Cli::parse(["--subset", "adi,nosuch"]),
+            Err(CliError::UnknownBenchmark("nosuch".into()))
+        );
+        // Errors render with guidance.
+        let msg = CliError::InvalidScale("huge".into()).to_string();
+        assert!(msg.contains("tiny|small|medium"), "{msg}");
+    }
+
+    #[test]
+    fn subset_accepts_punctuation_free_tpc_names() {
+        for token in ["TPC-C", "tpcc", "tpcdq6", "Tpc-Dq1"] {
+            assert!(parse_benchmark(token).is_some(), "{token} should resolve");
+        }
+        assert!(parse_benchmark("").is_none());
+        assert!(parse_benchmark("---").is_none());
     }
 }

@@ -1,0 +1,428 @@
+//! The job engine: deduplicated, parallel execution of simulation jobs.
+//!
+//! Every paper artifact (Table 2/3, Figures 4–9, the sweeps, the
+//! ablations) reduces to a *set* of independent simulations. A [`SimJob`]
+//! names one of them — `(benchmark, scale, machine, assist, version,
+//! compiler config)` — and a [`JobEngine`] executes a job set:
+//!
+//! 1. **Dedup.** Jobs are normalized to their *execution identity*: the
+//!    prepared program (raw, optimized, or selectively marked), the
+//!    machine, the assist actually attached for the version, and the
+//!    assist's initial state. Two jobs with the same identity are simulated
+//!    once — e.g. the `Base` run a bypass suite and a victim suite both
+//!    need, or the `Base` runs the four improvement computations share.
+//! 2. **Prepare once.** Each distinct `(benchmark, scale, preparation,
+//!    opt-config)` program is built and compiled exactly once, shared by
+//!    all jobs that execute it.
+//! 3. **Execute in parallel.** Unique jobs run on a self-scheduling
+//!    `std::thread` pool (workers claim the next unstarted job from a
+//!    shared queue, so long simulations never serialize behind short
+//!    ones). `threads == 1` runs inline with no pool at all.
+//! 4. **Reassemble deterministically.** Results come back in submission
+//!    order. Every simulation is itself deterministic, so output is
+//!    bit-identical for every thread count.
+//!
+//! ```
+//! use selcache_core::{JobEngine, MachineConfig, SimJob, Version};
+//! use selcache_mem::AssistKind;
+//! use selcache_workloads::{Benchmark, Scale};
+//!
+//! let engine = JobEngine::new(2);
+//! let machine = MachineConfig::base();
+//! let jobs = vec![
+//!     SimJob::new(Benchmark::Adi, Scale::Tiny, machine.clone(), AssistKind::Bypass, Version::Base),
+//!     SimJob::new(Benchmark::Adi, Scale::Tiny, machine, AssistKind::Bypass, Version::Selective),
+//! ];
+//! let results = engine.run(&jobs);
+//! assert!(results[1].improvement_over(&results[0]) > 0.0);
+//! ```
+
+use crate::config::MachineConfig;
+use crate::runner::{default_opt, simulate, SimResult, Version};
+use selcache_compiler::{optimize, selective, OptConfig};
+use selcache_ir::Program;
+use selcache_mem::AssistKind;
+use selcache_workloads::{Benchmark, Scale};
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::thread;
+
+/// One simulation request: a program source, the machine it runs on, the
+/// assist under study, and the simulated version (Section 4.3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimJob {
+    /// Program source.
+    pub benchmark: Benchmark,
+    /// Workload scale.
+    pub scale: Scale,
+    /// Machine under test.
+    pub machine: MachineConfig,
+    /// Hardware assist under study. Versions that run without the assist
+    /// (`Base`, `PureSoftware`) ignore this field — the engine's dedup key
+    /// does too, so such jobs unify across assist studies.
+    pub assist: AssistKind,
+    /// Simulated version.
+    pub version: Version,
+    /// Compiler configuration used to prepare the code for the
+    /// software-optimized versions.
+    pub opt: OptConfig,
+}
+
+impl SimJob {
+    /// A job with the compiler configuration derived from the machine
+    /// (block size and L1 capacity), exactly as [`crate::Experiment::new`]
+    /// derives it.
+    pub fn new(
+        benchmark: Benchmark,
+        scale: Scale,
+        machine: MachineConfig,
+        assist: AssistKind,
+        version: Version,
+    ) -> SimJob {
+        let opt = default_opt(&machine);
+        SimJob { benchmark, scale, machine, assist, version, opt }
+    }
+
+    /// Replaces the compiler configuration.
+    pub fn with_opt(mut self, opt: OptConfig) -> SimJob {
+        self.opt = opt;
+        self
+    }
+}
+
+/// How a version's code is prepared (Section 4.4's software flow).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PrepKind {
+    /// Unmodified source (`Base`, `PureHardware`).
+    Raw,
+    /// Locality-optimized (`PureSoftware`, `Combined`).
+    Optimized,
+    /// Locality-optimized plus ON/OFF markers (`Selective`).
+    Selective,
+}
+
+impl Version {
+    fn prep_kind(self) -> PrepKind {
+        match self {
+            Version::Base | Version::PureHardware => PrepKind::Raw,
+            Version::PureSoftware | Version::Combined => PrepKind::Optimized,
+            Version::Selective => PrepKind::Selective,
+        }
+    }
+
+    /// The assist actually attached to the hierarchy for this version under
+    /// `assist`-study experiments.
+    pub(crate) fn effective_assist(self, assist: AssistKind) -> AssistKind {
+        match self {
+            Version::Base | Version::PureSoftware => AssistKind::None,
+            _ => assist,
+        }
+    }
+
+    /// Whether the assist flag starts enabled. The selective version starts
+    /// *off* (code is assumed software-optimized until an ON instruction
+    /// runs); the always-on versions start on.
+    pub(crate) fn initially_enabled(self) -> bool {
+        !matches!(self, Version::Selective)
+    }
+}
+
+/// Identity of a prepared program: the source, the preparation, and (for
+/// compiler-prepared versions only) the compiler configuration.
+#[derive(Debug, Clone, PartialEq)]
+struct ProgramKey {
+    benchmark: Benchmark,
+    scale: Scale,
+    prep: PrepKind,
+    /// `None` for [`PrepKind::Raw`] — raw code does not depend on the
+    /// compiler configuration, so raw jobs unify across opt configs.
+    opt: Option<OptConfig>,
+}
+
+impl ProgramKey {
+    fn of(job: &SimJob) -> ProgramKey {
+        let prep = job.version.prep_kind();
+        ProgramKey {
+            benchmark: job.benchmark,
+            scale: job.scale,
+            prep,
+            opt: match prep {
+                PrepKind::Raw => None,
+                _ => Some(job.opt),
+            },
+        }
+    }
+
+    fn build(&self) -> Program {
+        let base = self.benchmark.build(self.scale);
+        match (self.prep, &self.opt) {
+            (PrepKind::Raw, _) => base,
+            (PrepKind::Optimized, Some(opt)) => optimize(&base, opt),
+            (PrepKind::Selective, Some(opt)) => selective(&base, opt),
+            _ => unreachable!("compiler-prepared key without an opt config"),
+        }
+    }
+}
+
+/// A job's full execution identity: the prepared program plus everything
+/// the simulator reads. Jobs with equal keys produce equal results, so the
+/// engine runs each key once.
+#[derive(Debug, Clone, PartialEq)]
+struct ExecKey {
+    program: ProgramKey,
+    machine: MachineConfig,
+    assist: AssistKind,
+    assist_enabled: bool,
+}
+
+impl ExecKey {
+    fn of(job: &SimJob) -> ExecKey {
+        ExecKey {
+            program: ProgramKey::of(job),
+            machine: job.machine.clone(),
+            assist: job.version.effective_assist(job.assist),
+            assist_enabled: job.version.initially_enabled(),
+        }
+    }
+}
+
+/// Counters describing what one [`JobEngine::run_with_stats`] call did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Jobs submitted.
+    pub submitted: usize,
+    /// Unique simulations actually executed.
+    pub executed: usize,
+    /// Jobs answered from another job's execution
+    /// (`submitted - executed`).
+    pub dedup_hits: usize,
+    /// Distinct programs built and compiled.
+    pub programs_prepared: usize,
+    /// Worker threads the engine was configured with.
+    pub threads: usize,
+}
+
+/// Executes [`SimJob`] sets with deduplication on a fixed-size thread pool.
+///
+/// Results are returned in submission order and are bit-identical for
+/// every thread count (each simulation is deterministic and jobs share no
+/// mutable state).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobEngine {
+    threads: usize,
+}
+
+impl JobEngine {
+    /// An engine with `threads` workers. `threads == 1` executes inline on
+    /// the calling thread (exactly the historical serial behavior);
+    /// `threads == 0` is promoted to [`JobEngine::default_parallelism`].
+    pub fn new(threads: usize) -> JobEngine {
+        let threads = if threads == 0 { Self::default_parallelism() } else { threads };
+        JobEngine { threads }
+    }
+
+    /// A single-threaded engine.
+    pub fn serial() -> JobEngine {
+        JobEngine { threads: 1 }
+    }
+
+    /// The machine's available parallelism (1 if it cannot be queried).
+    pub fn default_parallelism() -> usize {
+        thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+    }
+
+    /// The configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs a job set; `results[k]` answers `jobs[k]`.
+    pub fn run(&self, jobs: &[SimJob]) -> Vec<SimResult> {
+        self.run_with_stats(jobs).0
+    }
+
+    /// Runs a job set and reports dedup/executions counters.
+    pub fn run_with_stats(&self, jobs: &[SimJob]) -> (Vec<SimResult>, EngineStats) {
+        // Normalize and deduplicate. Job sets are small (hundreds at most:
+        // benchmarks x versions x machines), so linear-scan identity maps
+        // beat hashing the f64-bearing config structs.
+        let mut unique: Vec<ExecKey> = Vec::new();
+        let mut slot: Vec<usize> = Vec::with_capacity(jobs.len());
+        for job in jobs {
+            let key = ExecKey::of(job);
+            match unique.iter().position(|u| *u == key) {
+                Some(k) => slot.push(k),
+                None => {
+                    unique.push(key);
+                    slot.push(unique.len() - 1);
+                }
+            }
+        }
+
+        // Build each distinct program once, in parallel.
+        let mut prog_keys: Vec<ProgramKey> = Vec::new();
+        let prog_of: Vec<usize> = unique
+            .iter()
+            .map(|key| {
+                match prog_keys.iter().position(|p| *p == key.program) {
+                    Some(k) => k,
+                    None => {
+                        prog_keys.push(key.program.clone());
+                        prog_keys.len() - 1
+                    }
+                }
+            })
+            .collect();
+        let programs = self.par_map(&prog_keys, ProgramKey::build);
+
+        // Execute each unique job once, in parallel.
+        let work: Vec<(usize, &ExecKey)> =
+            prog_of.iter().copied().zip(unique.iter()).collect();
+        let results = self.par_map(&work, |&(prog, key)| {
+            simulate(&key.machine, key.assist, key.assist_enabled, &programs[prog])
+        });
+
+        let stats = EngineStats {
+            submitted: jobs.len(),
+            executed: unique.len(),
+            dedup_hits: jobs.len() - unique.len(),
+            programs_prepared: prog_keys.len(),
+            threads: self.threads,
+        };
+        (slot.into_iter().map(|k| results[k]).collect(), stats)
+    }
+
+    /// Applies `f` to every item, fanning out across the pool. Output order
+    /// matches input order regardless of completion order.
+    fn par_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        let n = items.len();
+        let workers = self.threads.min(n);
+        if workers <= 1 {
+            return items.iter().map(f).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, R)>();
+        thread::scope(|scope| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let next = &next;
+                let f = &f;
+                scope.spawn(move || loop {
+                    let k = next.fetch_add(1, Ordering::Relaxed);
+                    if k >= n {
+                        break;
+                    }
+                    if tx.send((k, f(&items[k]))).is_err() {
+                        break;
+                    }
+                });
+            }
+        });
+        drop(tx);
+        let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        for (k, r) in rx {
+            out[k] = Some(r);
+        }
+        out.into_iter().map(|r| r.expect("every job produced a result")).collect()
+    }
+}
+
+impl Default for JobEngine {
+    /// An engine sized to [`JobEngine::default_parallelism`].
+    fn default() -> JobEngine {
+        JobEngine::new(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn suite_jobs(assist: AssistKind) -> Vec<SimJob> {
+        let machine = MachineConfig::base();
+        let mut jobs = Vec::new();
+        for version in
+            [Version::Base, Version::PureHardware, Version::PureSoftware, Version::Selective]
+        {
+            jobs.push(SimJob::new(Benchmark::Adi, Scale::Tiny, machine.clone(), assist, version));
+        }
+        jobs
+    }
+
+    #[test]
+    fn duplicate_jobs_execute_once() {
+        let mut jobs = suite_jobs(AssistKind::Bypass);
+        jobs.extend(suite_jobs(AssistKind::Bypass));
+        let (results, stats) = JobEngine::serial().run_with_stats(&jobs);
+        assert_eq!(stats.submitted, 8);
+        assert_eq!(stats.executed, 4);
+        assert_eq!(stats.dedup_hits, 4);
+        assert_eq!(results[0], results[4]);
+        assert_eq!(results[3], results[7]);
+    }
+
+    #[test]
+    fn assist_free_versions_unify_across_assists() {
+        let mut jobs = suite_jobs(AssistKind::Bypass);
+        jobs.extend(suite_jobs(AssistKind::Victim));
+        let (results, stats) = JobEngine::new(2).run_with_stats(&jobs);
+        // Base and PureSoftware are assist-free: one execution each.
+        // PureHardware and Selective differ per assist: two each.
+        assert_eq!(stats.executed, 6);
+        assert_eq!(stats.dedup_hits, 2);
+        assert_eq!(results[0], results[4], "Base shared across assists");
+        assert_eq!(results[2], results[6], "PureSoftware shared across assists");
+        assert_ne!(results[1], results[5], "PureHardware differs per assist");
+    }
+
+    #[test]
+    fn raw_versions_share_programs_across_opt_configs() {
+        let machine = MachineConfig::base();
+        let mut loose = default_opt(&machine);
+        loose.threshold = 0.9;
+        let jobs = vec![
+            SimJob::new(
+                Benchmark::Li,
+                Scale::Tiny,
+                machine.clone(),
+                AssistKind::Bypass,
+                Version::Base,
+            ),
+            SimJob::new(Benchmark::Li, Scale::Tiny, machine, AssistKind::Bypass, Version::Base)
+                .with_opt(loose),
+        ];
+        let (results, stats) = JobEngine::serial().run_with_stats(&jobs);
+        assert_eq!(stats.executed, 1, "raw code ignores the opt config");
+        assert_eq!(stats.programs_prepared, 1);
+        assert_eq!(results[0], results[1]);
+    }
+
+    #[test]
+    fn parallel_results_match_serial_in_submission_order() {
+        let mut jobs = suite_jobs(AssistKind::Bypass);
+        jobs.extend(suite_jobs(AssistKind::Victim));
+        let serial = JobEngine::serial().run(&jobs);
+        let parallel = JobEngine::new(4).run(&jobs);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn zero_threads_promotes_to_available_parallelism() {
+        assert_eq!(JobEngine::new(0).threads(), JobEngine::default_parallelism());
+        assert_eq!(JobEngine::serial().threads(), 1);
+        assert!(JobEngine::default().threads() >= 1);
+    }
+
+    #[test]
+    fn empty_job_set_is_fine() {
+        let (results, stats) = JobEngine::default().run_with_stats(&[]);
+        assert!(results.is_empty());
+        assert_eq!(stats, EngineStats { threads: stats.threads, ..EngineStats::default() });
+    }
+}

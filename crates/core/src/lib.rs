@@ -3,35 +3,58 @@
 //! The integrated selective hardware/compiler cache-optimization framework
 //! of Memik et al. (DATE 2003): machine configurations (Table 1 and the
 //! sensitivity variants), the four simulated versions of Section 4.3
-//! (pure hardware, pure software, combined, selective), the experiment
-//! runner, and paper-style report formatting for Table 2, Table 3, and
+//! (pure hardware, pure software, combined, selective), the job engine,
+//! and paper-style report formatting for Table 2, Table 3, and
 //! Figures 4–9.
 //!
-//! ## Example
+//! ## Configuring experiments
+//!
+//! [`ExperimentBuilder`] is the primary entry point: every knob defaults
+//! sensibly (base machine, no assist, compiler config derived from the
+//! machine's L1, all available cores), so callers state only what they
+//! vary. [`Experiment::new`] and [`Experiment::with_opt`] remain as
+//! shorthands on top of it.
 //!
 //! ```
-//! use selcache_core::{Experiment, MachineConfig, Version};
+//! use selcache_core::{ExperimentBuilder, MachineConfig, Version};
 //! use selcache_mem::AssistKind;
 //! use selcache_workloads::{Benchmark, Scale};
 //!
-//! let exp = Experiment::new(MachineConfig::base(), AssistKind::Bypass);
+//! let exp = ExperimentBuilder::new()
+//!     .machine(MachineConfig::base())
+//!     .assist(AssistKind::Bypass)
+//!     .build();
 //! let base = exp.run(Benchmark::Vpenta, Scale::Tiny, Version::Base);
 //! let selective = exp.run(Benchmark::Vpenta, Scale::Tiny, Version::Selective);
 //! // The selective scheme improves on the base machine.
 //! assert!(selective.improvement_over(&base) > 0.0);
 //! ```
+//!
+//! ## Running job sets
+//!
+//! Whole tables and figures are job *sets*: independent simulations the
+//! [`JobEngine`] deduplicates and runs in parallel, returning results in
+//! submission order (bit-identical for every thread count). The suite and
+//! table entry points ([`SuiteResult::run_with`], [`table2_with`],
+//! [`table3_rows`], [`Sweep::run_with`]) are declarative constructors over
+//! it; build custom studies from [`SimJob`] directly.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod config;
+mod engine;
 mod report;
 mod runner;
 mod sweep;
 
 pub use config::{ConfigVariant, MachineConfig};
-pub use report::{format_table3, table2, table3_row, BenchmarkRow, SuiteResult, Table3Row};
-pub use runner::{Experiment, SimResult, Version};
+pub use engine::{EngineStats, JobEngine, SimJob};
+pub use report::{
+    format_table3, table2, table2_with, table3_row, table3_rows, BenchmarkRow, SuiteResult,
+    Table3Row,
+};
+pub use runner::{Experiment, ExperimentBuilder, SimResult, Version};
 pub use sweep::{l1_assoc_sweep, memory_latency_sweep, Sweep, SweepPoint};
 
 // Re-export the pieces callers need to parameterize experiments.

@@ -1,8 +1,15 @@
 //! Suite execution and paper-style report formatting (Table 2, Table 3,
 //! Figures 4–9).
+//!
+//! The run functions here are thin declarative layers: each one names its
+//! job set ([`SuiteResult::jobs`] and friends), hands it to a
+//! [`JobEngine`], and folds the results back into rows. Batched entry
+//! points ([`table3_rows`]) submit every constituent suite as one job set
+//! so shared runs (Base, PureSoftware) are simulated once.
 
 use crate::config::MachineConfig;
-use crate::runner::{Experiment, SimResult, Version};
+use crate::engine::{JobEngine, SimJob};
+use crate::runner::{SimResult, Version};
 use selcache_mem::AssistKind;
 use selcache_workloads::{Benchmark, Category, Scale};
 use std::fmt::Write as _;
@@ -31,6 +38,10 @@ impl BenchmarkRow {
     }
 }
 
+/// Jobs per benchmark in a suite job set: the base run plus the four
+/// reported versions.
+const JOBS_PER_BENCHMARK: usize = 1 + Version::REPORTED.len();
+
 /// A full suite sweep under one machine configuration and assist.
 #[derive(Debug, Clone)]
 pub struct SuiteResult {
@@ -43,9 +54,75 @@ pub struct SuiteResult {
 }
 
 impl SuiteResult {
-    /// Runs the full 13-benchmark suite.
+    /// The suite's job set: for each benchmark, the base run followed by
+    /// the four reported versions (`JOBS_PER_BENCHMARK` jobs each).
+    /// Feed the engine's results back through [`SuiteResult::from_results`].
+    pub fn jobs(
+        machine: &MachineConfig,
+        assist: AssistKind,
+        scale: Scale,
+        benchmarks: &[Benchmark],
+    ) -> Vec<SimJob> {
+        let mut jobs = Vec::with_capacity(benchmarks.len() * JOBS_PER_BENCHMARK);
+        for &bm in benchmarks {
+            jobs.push(SimJob::new(bm, scale, machine.clone(), assist, Version::Base));
+            for &v in &Version::REPORTED {
+                jobs.push(SimJob::new(bm, scale, machine.clone(), assist, v));
+            }
+        }
+        jobs
+    }
+
+    /// Folds engine results (ordered as [`SuiteResult::jobs`] produced
+    /// them) into suite rows.
+    ///
+    /// # Panics
+    ///
+    /// If `results` is not exactly `JOBS_PER_BENCHMARK` entries per
+    /// benchmark.
+    pub fn from_results(
+        machine_name: &'static str,
+        assist: AssistKind,
+        benchmarks: &[Benchmark],
+        results: &[SimResult],
+    ) -> SuiteResult {
+        assert_eq!(
+            results.len(),
+            benchmarks.len() * JOBS_PER_BENCHMARK,
+            "one base + four reported results per benchmark"
+        );
+        let rows = benchmarks
+            .iter()
+            .zip(results.chunks_exact(JOBS_PER_BENCHMARK))
+            .map(|(&benchmark, chunk)| {
+                let base = chunk[0];
+                let mut improvements = [0.0; 4];
+                for (imp, r) in improvements.iter_mut().zip(&chunk[1..]) {
+                    *imp = r.improvement_over(&base);
+                }
+                BenchmarkRow { benchmark, base, improvements }
+            })
+            .collect();
+        SuiteResult { machine_name, assist, rows }
+    }
+
+    /// Runs a suite on an explicit engine.
+    pub fn run_with(
+        engine: &JobEngine,
+        machine: MachineConfig,
+        assist: AssistKind,
+        scale: Scale,
+        benchmarks: &[Benchmark],
+    ) -> SuiteResult {
+        let name = machine.name;
+        let jobs = Self::jobs(&machine, assist, scale, benchmarks);
+        let results = engine.run(&jobs);
+        Self::from_results(name, assist, benchmarks, &results)
+    }
+
+    /// Runs the full 13-benchmark suite on a default-sized engine.
     pub fn run(machine: MachineConfig, assist: AssistKind, scale: Scale) -> SuiteResult {
-        Self::run_subset(machine, assist, scale, &Benchmark::ALL)
+        Self::run_with(&JobEngine::default(), machine, assist, scale, &Benchmark::ALL)
     }
 
     /// Runs a subset of the suite (used by tests and quick sweeps).
@@ -55,23 +132,7 @@ impl SuiteResult {
         scale: Scale,
         benchmarks: &[Benchmark],
     ) -> SuiteResult {
-        let name = machine.name;
-        let exp = Experiment::new(machine, assist);
-        let rows = benchmarks
-            .iter()
-            .map(|&bm| {
-                let program = bm.build(scale);
-                let base = exp.run_program(&program, Version::Base);
-                let mut improvements = [0.0; 4];
-                for (k, &v) in Version::REPORTED.iter().enumerate() {
-                    let prepared = exp.prepare(&program, v);
-                    let r = exp.run_program(&prepared, v);
-                    improvements[k] = r.improvement_over(&base);
-                }
-                BenchmarkRow { benchmark: bm, base, improvements }
-            })
-            .collect();
-        SuiteResult { machine_name: name, assist, rows }
+        Self::run_with(&JobEngine::default(), machine, assist, scale, benchmarks)
     }
 
     /// Suite-wide average improvement of a version.
@@ -178,9 +239,16 @@ fn assist_name(a: AssistKind) -> &'static str {
     }
 }
 
-/// Table 2: benchmark characteristics under the base configuration.
-pub fn table2(scale: Scale) -> String {
-    let exp = Experiment::new(MachineConfig::base(), AssistKind::None);
+/// Table 2 on an explicit engine: benchmark characteristics under the base
+/// configuration.
+pub fn table2_with(engine: &JobEngine, scale: Scale) -> String {
+    let machine = MachineConfig::base();
+    let jobs: Vec<SimJob> = Benchmark::ALL
+        .iter()
+        .map(|&bm| SimJob::new(bm, scale, machine.clone(), AssistKind::None, Version::Base))
+        .collect();
+    let results = engine.run(&jobs);
+
     let mut out = String::new();
     let _ = writeln!(out, "Table 2. Benchmark characteristics (scale: {scale}).");
     let _ = writeln!(
@@ -188,8 +256,7 @@ pub fn table2(scale: Scale) -> String {
         "{:<10} {:<26} {:>14} {:>9} {:>9}",
         "Benchmark", "Input", "Instructions", "L1 Miss%", "L2 Miss%"
     );
-    for bm in Benchmark::ALL {
-        let r = exp.run(bm, scale, Version::Base);
+    for (bm, r) in Benchmark::ALL.iter().zip(&results) {
         let _ = writeln!(
             out,
             "{:<10} {:<26} {:>14} {:>8.2} {:>8.2}",
@@ -201,6 +268,11 @@ pub fn table2(scale: Scale) -> String {
         );
     }
     out
+}
+
+/// Table 2 on a default-sized engine.
+pub fn table2(scale: Scale) -> String {
+    table2_with(&JobEngine::default(), scale)
 }
 
 fn format_count(n: u64) -> String {
@@ -234,21 +306,65 @@ pub struct Table3Row {
     pub selective_victim: f64,
 }
 
+impl Table3Row {
+    fn from_suites(bypass: &SuiteResult, victim: &SuiteResult) -> Table3Row {
+        Table3Row {
+            machine_name: bypass.machine_name,
+            pure_software: bypass.average(Version::PureSoftware),
+            cache_bypass: bypass.average(Version::PureHardware),
+            combined_bypass: bypass.average(Version::Combined),
+            selective_bypass: bypass.average(Version::Selective),
+            victim: victim.average(Version::PureHardware),
+            combined_victim: victim.average(Version::Combined),
+            selective_victim: victim.average(Version::Selective),
+        }
+    }
+}
+
+/// Computes every Table 3 row as one batched job set: all machines, both
+/// assist sweeps. The engine deduplicates the runs the sweeps share — each
+/// machine's Base and PureSoftware simulations serve both its bypass and
+/// victim suites.
+pub fn table3_rows(
+    engine: &JobEngine,
+    machines: &[MachineConfig],
+    scale: Scale,
+    benchmarks: &[Benchmark],
+) -> Vec<Table3Row> {
+    let mut jobs = Vec::new();
+    for machine in machines {
+        jobs.extend(SuiteResult::jobs(machine, AssistKind::Bypass, scale, benchmarks));
+        jobs.extend(SuiteResult::jobs(machine, AssistKind::Victim, scale, benchmarks));
+    }
+    let results = engine.run(&jobs);
+
+    let per_suite = benchmarks.len() * JOBS_PER_BENCHMARK;
+    machines
+        .iter()
+        .zip(results.chunks_exact(2 * per_suite))
+        .map(|(machine, chunk)| {
+            let bypass = SuiteResult::from_results(
+                machine.name,
+                AssistKind::Bypass,
+                benchmarks,
+                &chunk[..per_suite],
+            );
+            let victim = SuiteResult::from_results(
+                machine.name,
+                AssistKind::Victim,
+                benchmarks,
+                &chunk[per_suite..],
+            );
+            Table3Row::from_suites(&bypass, &victim)
+        })
+        .collect()
+}
+
 /// Computes one Table 3 row from the two assist sweeps of a machine.
 pub fn table3_row(machine: MachineConfig, scale: Scale, benchmarks: &[Benchmark]) -> Table3Row {
-    let name = machine.name;
-    let bypass = SuiteResult::run_subset(machine.clone(), AssistKind::Bypass, scale, benchmarks);
-    let victim = SuiteResult::run_subset(machine, AssistKind::Victim, scale, benchmarks);
-    Table3Row {
-        machine_name: name,
-        pure_software: bypass.average(Version::PureSoftware),
-        cache_bypass: bypass.average(Version::PureHardware),
-        combined_bypass: bypass.average(Version::Combined),
-        selective_bypass: bypass.average(Version::Selective),
-        victim: victim.average(Version::PureHardware),
-        combined_victim: victim.average(Version::Combined),
-        selective_victim: victim.average(Version::Selective),
-    }
+    table3_rows(&JobEngine::default(), &[machine], scale, benchmarks)
+        .pop()
+        .expect("one machine in, one row out")
 }
 
 /// Formats Table 3 from precomputed rows.
@@ -346,5 +462,21 @@ mod tests {
         let text = format_table3(&[r]);
         assert!(text.contains("Base Confg."));
         assert!(text.contains("Sel(vic)"));
+    }
+
+    #[test]
+    fn batched_table3_matches_per_row_runs() {
+        let benchmarks = [Benchmark::Adi, Benchmark::Li];
+        let machines = [MachineConfig::base(), MachineConfig::higher_mem_latency()];
+        let batched =
+            table3_rows(&JobEngine::serial(), &machines, Scale::Tiny, &benchmarks);
+        assert_eq!(batched.len(), 2);
+        for (machine, row) in machines.iter().zip(&batched) {
+            let single = table3_row(machine.clone(), Scale::Tiny, &benchmarks);
+            assert_eq!(row.machine_name, single.machine_name);
+            assert_eq!(row.selective_bypass, single.selective_bypass);
+            assert_eq!(row.selective_victim, single.selective_victim);
+            assert_eq!(row.pure_software, single.pure_software);
+        }
     }
 }

@@ -3,6 +3,7 @@
 //! processor + memory-hierarchy simulator.
 
 use crate::config::MachineConfig;
+use crate::engine::JobEngine;
 use selcache_compiler::{optimize, selective, OptConfig};
 use selcache_cpu::{CpuStats, Pipeline};
 use selcache_ir::{Interp, Program};
@@ -85,8 +86,111 @@ impl SimResult {
     }
 }
 
+/// The compiler configuration an experiment derives from its machine: the
+/// locality passes target the L1 data cache's block size and capacity.
+pub(crate) fn default_opt(machine: &MachineConfig) -> OptConfig {
+    let mut opt = OptConfig {
+        block_bytes: machine.mem.l1d.block_size,
+        ..OptConfig::default()
+    };
+    opt.tiling.cache_bytes = machine.mem.l1d.size;
+    opt
+}
+
+/// Runs one prepared program on one machine — the single simulation
+/// primitive both [`Experiment::run_program`] and the
+/// [`JobEngine`](crate::JobEngine) bottom out in.
+pub(crate) fn simulate(
+    machine: &MachineConfig,
+    assist: AssistKind,
+    assist_enabled: bool,
+    program: &Program,
+) -> SimResult {
+    let mut hier_cfg = machine.mem.clone();
+    hier_cfg.assist = assist;
+    let mut mem = MemoryHierarchy::new(hier_cfg);
+    mem.set_assist_enabled(assist_enabled);
+    let stats = Pipeline::new(machine.cpu).run(Interp::new(program), &mut mem);
+    SimResult {
+        cycles: stats.cycles,
+        instructions: stats.committed,
+        cpu: stats,
+        mem: mem.stats(),
+    }
+}
+
+/// Fluent constructor for [`Experiment`] — the primary way to configure a
+/// run.
+///
+/// Every knob has a sensible default (base machine, no assist, compiler
+/// config derived from the machine, all available cores), so callers state
+/// only what they vary:
+///
+/// ```
+/// use selcache_core::{ExperimentBuilder, MachineConfig};
+/// use selcache_mem::AssistKind;
+///
+/// let exp = ExperimentBuilder::new()
+///     .machine(MachineConfig::base())
+///     .assist(AssistKind::Victim)
+///     .threads(2)
+///     .build();
+/// assert_eq!(exp.threads(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ExperimentBuilder {
+    machine: Option<MachineConfig>,
+    assist: AssistKind,
+    opt: Option<OptConfig>,
+    threads: usize,
+}
+
+impl ExperimentBuilder {
+    /// A builder with every knob at its default.
+    pub fn new() -> Self {
+        ExperimentBuilder::default()
+    }
+
+    /// Sets the machine under test (default: [`MachineConfig::base`]).
+    pub fn machine(mut self, machine: MachineConfig) -> Self {
+        self.machine = Some(machine);
+        self
+    }
+
+    /// Sets the hardware assist under study (default: [`AssistKind::None`]).
+    pub fn assist(mut self, assist: AssistKind) -> Self {
+        self.assist = assist;
+        self
+    }
+
+    /// Overrides the compiler configuration (default: derived from the
+    /// machine's L1 block size and capacity).
+    pub fn opt(mut self, opt: OptConfig) -> Self {
+        self.opt = Some(opt);
+        self
+    }
+
+    /// Sets the worker-thread count for suite execution. `0` (the default)
+    /// means [`JobEngine::default_parallelism`]; `1` reproduces the
+    /// historical serial execution exactly.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Builds the experiment.
+    pub fn build(self) -> Experiment {
+        let machine = self.machine.unwrap_or_else(MachineConfig::base);
+        let opt = self.opt.unwrap_or_else(|| default_opt(&machine));
+        Experiment { machine, assist: self.assist, opt, threads: self.threads }
+    }
+}
+
 /// An experiment: a machine configuration plus the hardware assist under
 /// study.
+///
+/// Construct one with [`ExperimentBuilder`] (or the [`Experiment::new`] /
+/// [`Experiment::with_opt`] shorthands).
 ///
 /// ```
 /// use selcache_core::{Experiment, MachineConfig, Version};
@@ -103,22 +207,18 @@ pub struct Experiment {
     machine: MachineConfig,
     assist: AssistKind,
     opt: OptConfig,
+    threads: usize,
 }
 
 impl Experiment {
     /// Creates an experiment with the default compiler configuration.
     pub fn new(machine: MachineConfig, assist: AssistKind) -> Self {
-        let mut opt = OptConfig {
-            block_bytes: machine.mem.l1d.block_size,
-            ..OptConfig::default()
-        };
-        opt.tiling.cache_bytes = machine.mem.l1d.size;
-        Experiment { machine, assist, opt }
+        ExperimentBuilder::new().machine(machine).assist(assist).build()
     }
 
     /// Creates an experiment with an explicit compiler configuration.
     pub fn with_opt(machine: MachineConfig, assist: AssistKind, opt: OptConfig) -> Self {
-        Experiment { machine, assist, opt }
+        ExperimentBuilder::new().machine(machine).assist(assist).opt(opt).build()
     }
 
     /// The machine under test.
@@ -136,6 +236,16 @@ impl Experiment {
         &self.opt
     }
 
+    /// The configured worker-thread count (`0` = all available cores).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// A [`JobEngine`] sized to this experiment's thread count.
+    pub fn engine(&self) -> JobEngine {
+        JobEngine::new(self.threads)
+    }
+
     /// Prepares the program a version executes (Section 4.4's software
     /// development flow).
     pub fn prepare(&self, program: &Program, version: Version) -> Program {
@@ -146,34 +256,14 @@ impl Experiment {
         }
     }
 
-    /// The assist attached to the hierarchy for a version.
-    fn assist_for(&self, version: Version) -> AssistKind {
-        match version {
-            Version::Base | Version::PureSoftware => AssistKind::None,
-            _ => self.assist,
-        }
-    }
-
-    /// Whether the assist flag starts enabled for a version. The selective
-    /// version starts *off* (the code is assumed software-optimized until an
-    /// ON instruction runs); the always-on versions start on.
-    fn initially_enabled(&self, version: Version) -> bool {
-        !matches!(version, Version::Selective)
-    }
-
     /// Runs a prepared program.
     pub fn run_program(&self, program: &Program, version: Version) -> SimResult {
-        let mut hier_cfg = self.machine.mem.clone();
-        hier_cfg.assist = self.assist_for(version);
-        let mut mem = MemoryHierarchy::new(hier_cfg);
-        mem.set_assist_enabled(self.initially_enabled(version));
-        let stats = Pipeline::new(self.machine.cpu).run(Interp::new(program), &mut mem);
-        SimResult {
-            cycles: stats.cycles,
-            instructions: stats.committed,
-            cpu: stats,
-            mem: mem.stats(),
-        }
+        simulate(
+            &self.machine,
+            version.effective_assist(self.assist),
+            version.initially_enabled(),
+            program,
+        )
     }
 
     /// Builds, prepares, and runs a benchmark under a version.
@@ -238,5 +328,34 @@ mod tests {
         let e = exp(AssistKind::Victim);
         let p = Benchmark::Swim.build(Scale::Tiny);
         assert_eq!(e.prepare(&p, Version::Selective), e.prepare(&p, Version::Selective));
+    }
+
+    #[test]
+    fn builder_defaults_and_overrides() {
+        let d = ExperimentBuilder::new().build();
+        assert_eq!(*d.machine(), MachineConfig::base());
+        assert_eq!(d.assist(), AssistKind::None);
+        assert_eq!(d.threads(), 0);
+        assert!(d.engine().threads() >= 1);
+
+        let machine = MachineConfig::base();
+        let derived = default_opt(&machine);
+        let e = ExperimentBuilder::new()
+            .machine(machine)
+            .assist(AssistKind::Stream)
+            .threads(1)
+            .build();
+        assert_eq!(*e.opt(), derived);
+        assert_eq!(e.assist(), AssistKind::Stream);
+        assert_eq!(e.engine().threads(), 1);
+    }
+
+    #[test]
+    fn builder_matches_legacy_constructors() {
+        let m = MachineConfig::larger_l1();
+        let a = Experiment::new(m.clone(), AssistKind::Victim);
+        let b = ExperimentBuilder::new().machine(m).assist(AssistKind::Victim).build();
+        assert_eq!(a.opt(), b.opt());
+        assert_eq!(a.machine(), b.machine());
     }
 }

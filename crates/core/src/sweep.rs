@@ -3,7 +3,8 @@
 //! paper's sensitivity discussion in Section 5.1).
 
 use crate::config::MachineConfig;
-use crate::runner::{Experiment, Version};
+use crate::engine::{JobEngine, SimJob};
+use crate::runner::Version;
 use selcache_mem::AssistKind;
 use selcache_workloads::{Benchmark, Scale};
 use std::fmt::Write as _;
@@ -29,8 +30,15 @@ pub struct Sweep {
 }
 
 impl Sweep {
-    /// Runs a sweep: `configure` maps each value to a machine.
-    pub fn run(
+    /// Runs a sweep on an explicit engine: `configure` maps each value to a
+    /// machine.
+    ///
+    /// The whole sweep is one job set, so work the points share is done
+    /// once: the benchmark's prepared programs (raw, optimized, selective)
+    /// are reused across every point whose machine derives the same
+    /// compiler configuration — previously each point rebuilt all of them.
+    pub fn run_with(
+        engine: &JobEngine,
         parameter: &'static str,
         benchmark: Benchmark,
         scale: Scale,
@@ -38,22 +46,39 @@ impl Sweep {
         values: &[u64],
         mut configure: impl FnMut(u64) -> MachineConfig,
     ) -> Sweep {
-        let program = benchmark.build(scale);
+        let mut jobs = Vec::with_capacity(values.len() * (1 + Version::REPORTED.len()));
+        for &value in values {
+            let machine = configure(value);
+            jobs.push(SimJob::new(benchmark, scale, machine.clone(), assist, Version::Base));
+            for &v in &Version::REPORTED {
+                jobs.push(SimJob::new(benchmark, scale, machine.clone(), assist, v));
+            }
+        }
+        let results = engine.run(&jobs);
         let points = values
             .iter()
-            .map(|&value| {
-                let exp = Experiment::new(configure(value), assist);
-                let base = exp.run_program(&program, Version::Base);
+            .zip(results.chunks_exact(1 + Version::REPORTED.len()))
+            .map(|(&value, chunk)| {
                 let mut improvements = [0.0; 4];
-                for (k, &v) in Version::REPORTED.iter().enumerate() {
-                    let prepared = exp.prepare(&program, v);
-                    improvements[k] =
-                        exp.run_program(&prepared, v).improvement_over(&base);
+                for (imp, r) in improvements.iter_mut().zip(&chunk[1..]) {
+                    *imp = r.improvement_over(&chunk[0]);
                 }
                 SweepPoint { value, improvements }
             })
             .collect();
         Sweep { parameter, benchmark, points }
+    }
+
+    /// Runs a sweep on a default-sized engine.
+    pub fn run(
+        parameter: &'static str,
+        benchmark: Benchmark,
+        scale: Scale,
+        assist: AssistKind,
+        values: &[u64],
+        configure: impl FnMut(u64) -> MachineConfig,
+    ) -> Sweep {
+        Self::run_with(&JobEngine::default(), parameter, benchmark, scale, assist, values, configure)
     }
 
     /// The selective-version series.
@@ -131,5 +156,40 @@ mod tests {
         let csv = s.to_csv();
         assert!(csv.starts_with("l1_assoc,pure_hw,pure_sw,combined,selective\n"));
         assert_eq!(csv.lines().count(), 3);
+    }
+
+    #[test]
+    fn sweep_points_share_prepared_programs() {
+        // Neither latency value changes the L1 geometry, so the sweep needs
+        // only one raw + one optimized + one selective program for both
+        // points (the historical implementation rebuilt them per point).
+        let engine = JobEngine::serial();
+        let jobs_probe = |values: &[u64]| {
+            let mut jobs = Vec::new();
+            for &v in values {
+                let mut m = MachineConfig::base();
+                m.mem.mem_latency = v;
+                jobs.push(SimJob::new(
+                    Benchmark::Adi,
+                    Scale::Tiny,
+                    m.clone(),
+                    AssistKind::Bypass,
+                    Version::Base,
+                ));
+                for &ver in &Version::REPORTED {
+                    jobs.push(SimJob::new(
+                        Benchmark::Adi,
+                        Scale::Tiny,
+                        m.clone(),
+                        AssistKind::Bypass,
+                        ver,
+                    ));
+                }
+            }
+            engine.run_with_stats(&jobs).1
+        };
+        let stats = jobs_probe(&[100, 200]);
+        assert_eq!(stats.programs_prepared, 3, "raw, optimized, selective");
+        assert_eq!(stats.executed, 10, "machines differ, so all runs execute");
     }
 }

@@ -1,0 +1,63 @@
+//! Engine-level guarantees the unified run API is built on: thread-count
+//! independence (byte-identical reports) and job deduplication.
+
+use selcache_core::{
+    AssistKind, Benchmark, JobEngine, MachineConfig, Scale, SimJob, SuiteResult, Version,
+};
+
+const BENCHMARKS: [Benchmark; 2] = [Benchmark::Vpenta, Benchmark::Compress];
+
+/// Runs the same two-benchmark suite serially and on an 8-worker pool and
+/// demands identical results row by row — and byte-identical formatted
+/// output, the acceptance bar for the parallel engine.
+#[test]
+fn parallel_suite_is_deterministic() {
+    let suite = |threads: usize| {
+        SuiteResult::run_with(
+            &JobEngine::new(threads),
+            MachineConfig::base(),
+            AssistKind::Bypass,
+            Scale::Tiny,
+            &BENCHMARKS,
+        )
+    };
+    let serial = suite(1);
+    let parallel = suite(8);
+
+    assert_eq!(serial.rows.len(), parallel.rows.len());
+    for (s, p) in serial.rows.iter().zip(&parallel.rows) {
+        assert_eq!(s.benchmark, p.benchmark);
+        assert_eq!(s.base.cycles, p.base.cycles);
+        assert_eq!(s.base.instructions, p.base.instructions);
+        assert_eq!(s.base.l1_miss_pct(), p.base.l1_miss_pct());
+        assert_eq!(s.improvements, p.improvements);
+    }
+    assert_eq!(serial.format_figure(4), parallel.format_figure(4));
+    assert_eq!(serial.to_csv(), parallel.to_csv());
+}
+
+/// One benchmark studied under two assists submits 10 jobs but only 8
+/// distinct simulations: Base and PureSoftware never touch the assist, so
+/// each executes exactly once per machine and serves both studies.
+#[test]
+fn base_runs_are_shared_across_assist_studies() {
+    let machine = MachineConfig::base();
+    let mut jobs = Vec::new();
+    for assist in [AssistKind::Bypass, AssistKind::Victim] {
+        jobs.push(SimJob::new(Benchmark::Li, Scale::Tiny, machine.clone(), assist, Version::Base));
+        for &v in &Version::REPORTED {
+            jobs.push(SimJob::new(Benchmark::Li, Scale::Tiny, machine.clone(), assist, v));
+        }
+    }
+    let (results, stats) = JobEngine::default().run_with_stats(&jobs);
+
+    assert_eq!(stats.submitted, 10);
+    assert_eq!(stats.executed, 8, "Base and PureSoftware unify across assists");
+    assert_eq!(stats.dedup_hits, 2);
+    assert_eq!(stats.programs_prepared, 3, "raw, optimized, selective");
+
+    // The deduplicated slots still answer with full, identical results.
+    assert_eq!(results[0], results[5], "Base slot answered by the shared run");
+    assert_eq!(results[2], results[7], "PureSoftware slot answered by the shared run");
+    assert_ne!(results[1], results[6], "assist-dependent runs stay distinct");
+}

@@ -6,15 +6,12 @@
 //! cargo run --release --example quickstart [-- <benchmark>]
 //! ```
 
-use selcache::core::{AssistKind, Experiment, MachineConfig, Version};
+use selcache::core::{AssistKind, ExperimentBuilder, MachineConfig, SimJob, Version};
 use selcache::workloads::{Benchmark, Scale};
 
 fn main() {
     let name = std::env::args().nth(1).unwrap_or_else(|| "Chaos".to_string());
-    let benchmark = Benchmark::ALL
-        .into_iter()
-        .find(|b| b.name().eq_ignore_ascii_case(&name))
-        .unwrap_or_else(|| {
+    let benchmark = Benchmark::parse(&name).unwrap_or_else(|| {
             eprintln!("unknown benchmark {name:?}; available:");
             for b in Benchmark::ALL {
                 eprintln!("  {b}");
@@ -44,10 +41,24 @@ fn main() {
     println!("  RUU / LSQ          {} / {}", machine.cpu.ruu_entries, machine.cpu.lsq_entries);
     println!();
 
-    let exp = Experiment::new(machine, AssistKind::Bypass);
+    // The builder is the primary entry point: name what varies, default
+    // the rest (compiler config derived from the machine, all cores).
+    let exp = ExperimentBuilder::new().machine(machine).assist(AssistKind::Bypass).build();
     let scale = Scale::Small;
     println!("benchmark {benchmark} ({}) at scale {scale}:", benchmark.category());
-    let base = exp.run(benchmark, scale, Version::Base);
+
+    // Submit all five versions as one job set: the engine builds the
+    // program once, prepares each variant once, and runs them in parallel.
+    let jobs: Vec<SimJob> = std::iter::once(Version::Base)
+        .chain(Version::REPORTED)
+        .map(|v| {
+            SimJob::new(benchmark, scale, exp.machine().clone(), exp.assist(), v)
+                .with_opt(*exp.opt())
+        })
+        .collect();
+    let results = exp.engine().run(&jobs);
+
+    let base = results[0];
     println!(
         "  base      : {:>12} cycles  ({} instructions, L1 miss {:.1}%, L2 miss {:.1}%)",
         base.cycles,
@@ -55,8 +66,7 @@ fn main() {
         base.l1_miss_pct(),
         base.l2_miss_pct()
     );
-    for version in Version::REPORTED {
-        let r = exp.run(benchmark, scale, version);
+    for (version, r) in Version::REPORTED.iter().zip(&results[1..]) {
         println!(
             "  {:<10}: {:>12} cycles  ({:+.2}% vs base)",
             version.to_string().to_lowercase(),

@@ -1,0 +1,198 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! the subset of the criterion 0.5 API its benches use: `Criterion`,
+//! benchmark groups, `Bencher::iter`, `Throughput`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! Instead of criterion's statistical machinery this harness warms up
+//! briefly, runs each benchmark for a fixed measurement window, and prints
+//! the mean wall-clock time per iteration (plus throughput when declared).
+//! That is enough to compare simulator component costs release-to-release;
+//! it makes no confidence-interval claims.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benchmarked
+/// work (re-export of [`std::hint::black_box`]).
+pub use std::hint::black_box;
+
+/// Declared work-per-iteration, used to report throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Iteration processes this many logical elements.
+    Elements(u64),
+    /// Iteration processes this many bytes.
+    Bytes(u64),
+}
+
+/// Times closures handed to [`Bencher::iter`].
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly inside the measurement window and records the
+    /// total time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: one untimed call (populates caches, faults pages).
+        black_box(f());
+        let start = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            black_box(f());
+            iters += 1;
+            let elapsed = start.elapsed();
+            if elapsed >= MEASURE_WINDOW && iters >= MIN_ITERS {
+                self.iters = iters;
+                self.elapsed = elapsed;
+                return;
+            }
+        }
+    }
+}
+
+const MEASURE_WINDOW: Duration = Duration::from_millis(300);
+const MIN_ITERS: u64 = 3;
+
+/// A named set of related benchmarks sharing a throughput declaration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the work each iteration performs (reported as items/s or
+    /// bytes/s).
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Accepted for criterion API compatibility. This harness sizes runs by
+    /// wall-clock window, not sample count, so the value is unused.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark and prints its mean time per iteration.
+    pub fn bench_function<N: Into<String>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: N,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher { iters: 0, elapsed: Duration::ZERO };
+        f(&mut b);
+        let per_iter = if b.iters == 0 {
+            Duration::ZERO
+        } else {
+            b.elapsed / u32::try_from(b.iters.min(u64::from(u32::MAX))).unwrap_or(u32::MAX)
+        };
+        let mut line = format!(
+            "{}/{:<28} {:>12.3} us/iter ({} iters)",
+            self.name,
+            id,
+            per_iter.as_secs_f64() * 1e6,
+            b.iters
+        );
+        if let Some(t) = self.throughput {
+            let per_sec = |units: u64| units as f64 * b.iters as f64 / b.elapsed.as_secs_f64();
+            match t {
+                Throughput::Elements(n) => {
+                    line += &format!("  {:>12.0} elem/s", per_sec(n));
+                }
+                Throughput::Bytes(n) => {
+                    line += &format!("  {:>12.0} B/s", per_sec(n));
+                }
+            }
+        }
+        println!("{line}");
+        self.criterion.ran += 1;
+        self
+    }
+
+    /// Ends the group (accepted for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    ran: usize,
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group<N: Into<String>>(&mut self, name: N) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), criterion: self, throughput: None }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function<N: Into<String>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: N,
+        f: F,
+    ) -> &mut Self {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Collects benchmark functions into a runnable group, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Under `cargo test --benches` the harness-less bench binary is
+            // invoked with `--test`; skip measurement there so test runs
+            // stay fast.
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_work() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.throughput(Throughput::Elements(10));
+        let mut calls = 0u64;
+        g.bench_function("spin", |b| {
+            b.iter(|| {
+                calls += 1;
+                black_box((0..100u64).sum::<u64>())
+            })
+        });
+        g.finish();
+        assert!(calls >= MIN_ITERS, "iter ran: {calls}");
+        assert_eq!(c.ran, 1);
+    }
+}

@@ -1,0 +1,336 @@
+//! Offline stand-in for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! The build environment for this repository has no access to crates.io, so
+//! the workspace vendors the *subset* of the `rand` 0.8 API it actually
+//! uses: seedable deterministic generators (`StdRng`, `SmallRng`), integer
+//! ranges via [`Rng::gen_range`], Bernoulli draws via [`Rng::gen_bool`],
+//! and slice shuffling. Everything is pure `std`, `forbid(unsafe_code)`,
+//! and bit-reproducible across platforms.
+//!
+//! The generator is **not** the upstream ChaCha12 `StdRng`; it is a seeded
+//! xoshiro256++ with SplitMix64 seed expansion. Workload generators in this
+//! repository only rely on *determinism and distribution shape*, not on the
+//! exact upstream stream, so the substitution preserves behavior-level
+//! results (who wins, by how much, in which direction) while keeping every
+//! run bit-identical to every other run of this same tree.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// SplitMix64: expands a 64-bit seed into the generator state.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Core trait for random-number generators (subset of `rand::RngCore`).
+pub trait RngCore {
+    /// Returns the next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 uniformly distributed bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// A generator that can be constructed from a seed (subset of
+/// `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// User-facing sampling methods (subset of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Samples uniformly from a range (`low..high` or `low..=high`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool probability out of range: {p}");
+        // 53 uniform mantissa bits, exactly comparable against p.
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+
+    /// Samples a full-range value for supported primitive types.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Types samplable over their full range by [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Marker for types that [`Rng::gen_range`] can sample.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform draw from `[low, high]` (inclusive bounds).
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty => $u:ty),+ $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low <= high, "empty sample range");
+                let span = (high as $u).wrapping_sub(low as $u);
+                if span == <$u>::MAX {
+                    return rng.next_u64() as $t;
+                }
+                // Unbiased bounded draw (Lemire's multiply-shift with
+                // rejection on the low word).
+                let bound = span as u128 + 1;
+                loop {
+                    let x = rng.next_u64() as u128;
+                    let m = x * bound;
+                    let lo = m as u64;
+                    if lo >= ((u64::MAX as u128 + 1 - bound) % bound) as u64 {
+                        return low.wrapping_add((m >> 64) as $u as $t);
+                    }
+                }
+            }
+        }
+    )+};
+}
+
+impl_sample_uniform_int!(
+    i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize,
+    u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize,
+);
+
+impl SampleUniform for f64 {
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        assert!(low <= high, "empty sample range");
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        low + unit * (high - low)
+    }
+}
+
+/// Ranges accepted by [`Rng::gen_range`] (subset of
+/// `rand::distributions::uniform::SampleRange`).
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),+ $(,)?) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty sample range");
+                <$t>::sample_inclusive(rng, self.start, self.end - 1)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                <$t>::sample_inclusive(rng, *self.start(), *self.end())
+            }
+        }
+    )+};
+}
+
+impl_sample_range_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        f64::sample_inclusive(rng, self.start, self.end)
+    }
+}
+
+/// The workhorse generator: xoshiro256++ (Blackman & Vigna), seeded via
+/// SplitMix64. Fast, full 64-bit output, and passes the usual statistical
+/// batteries — more than adequate for synthetic-workload generation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro256PlusPlus {
+    s: [u64; 4],
+}
+
+impl SeedableRng for Xoshiro256PlusPlus {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = splitmix64(&mut sm);
+        }
+        // All-zero state is the one degenerate case; SplitMix64 cannot
+        // produce four zero outputs in a row, but guard anyway.
+        if s == [0; 4] {
+            s[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        Xoshiro256PlusPlus { s }
+    }
+}
+
+impl RngCore for Xoshiro256PlusPlus {
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Deterministic standard generator (stands in for `rand::rngs::StdRng`).
+pub type StdRng = Xoshiro256PlusPlus;
+
+/// Small fast generator (stands in for `rand::rngs::SmallRng`; same engine
+/// here).
+pub type SmallRng = Xoshiro256PlusPlus;
+
+/// Generator types, mirroring `rand::rngs`.
+pub mod rngs {
+    pub use super::{SmallRng, StdRng};
+}
+
+/// Sequence helpers, mirroring `rand::seq`.
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Slice extension methods (subset of `rand::seq::SliceRandom`).
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+        /// Uniformly random element, `None` on an empty slice.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+    }
+}
+
+/// Commonly used items, mirroring `rand::prelude`.
+pub mod prelude {
+    pub use super::seq::SliceRandom;
+    pub use super::{Rng, RngCore, SeedableRng, SmallRng, StdRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = r.gen_range(-5i64..17);
+            assert!((-5..17).contains(&v));
+            let w = r.gen_range(3usize..=9);
+            assert!((3..=9).contains(&w));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_the_range() {
+        let mut r = StdRng::seed_from_u64(11);
+        let mut seen = [false; 8];
+        for _ in 0..1_000 {
+            seen[r.gen_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues hit: {seen:?}");
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut r = StdRng::seed_from_u64(5);
+        let hits = (0..100_000).filter(|_| r.gen_bool(0.8)).count();
+        assert!((78_000..82_000).contains(&hits), "p=0.8 hit count {hits}");
+        assert!((0..1000).all(|_| !r.gen_bool(0.0)));
+        assert!((0..1000).all(|_| r.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        use seq::SliceRandom;
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut StdRng::seed_from_u64(9));
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+}
