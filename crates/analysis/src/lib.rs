@@ -43,5 +43,5 @@ mod reuse;
 
 pub use fenwick::Fenwick;
 pub use phase::{Phase, PhaseConfig, PhaseDetector};
-pub use profile::{ArrayProfile, TraceProfile};
+pub use profile::{ArrayProfile, RegionProfiles, TraceProfile};
 pub use reuse::{Distance, Histogram, ReuseProfiler};

@@ -2,7 +2,7 @@
 //! distribution of a trace — the quantities the paper's compiler reasons
 //! about statically, measured dynamically.
 
-use selcache_ir::{Addr, ArrayId, OpKind, Program, TraceOp};
+use selcache_ir::{Addr, ArrayId, OpKind, Program, RegionMap, TraceOp};
 use std::fmt;
 
 /// Per-array dynamic access statistics.
@@ -129,6 +129,54 @@ impl TraceProfile {
     }
 }
 
+/// Access profiles split by a region partition: one [`TraceProfile`] per
+/// region, plus a trailing *(outside)* bucket for ops with no region stamp.
+///
+/// Feed it a trace from [`selcache_ir::Interp::with_regions`] so each op
+/// carries the region of its issuing site; the per-region totals then sum
+/// exactly to the whole-trace totals.
+#[derive(Debug, Clone)]
+pub struct RegionProfiles {
+    labels: Vec<String>,
+    profiles: Vec<TraceProfile>,
+}
+
+impl RegionProfiles {
+    /// Profiles a trace, splitting ops by their region stamp.
+    pub fn profile(
+        program: &Program,
+        map: &RegionMap,
+        trace: impl IntoIterator<Item = TraceOp>,
+    ) -> Self {
+        let mut labels: Vec<String> = map.labels().to_vec();
+        labels.push("(outside)".into());
+        let mut profiles = vec![TraceProfile::new(program); labels.len()];
+        let outside = labels.len() - 1;
+        for op in trace {
+            let k = if op.region.is_none() { outside } else { op.region.index().min(outside) };
+            profiles[k].record(&op);
+        }
+        RegionProfiles { labels, profiles }
+    }
+
+    /// Per-region profiles, with the partition's labels (the last entry is
+    /// the *(outside)* bucket).
+    pub fn regions(&self) -> impl Iterator<Item = (&str, &TraceProfile)> {
+        self.labels.iter().map(|l| l.as_str()).zip(self.profiles.iter())
+    }
+
+    /// The profile of the region with the given label, if any.
+    pub fn by_label(&self, label: &str) -> Option<&TraceProfile> {
+        self.labels.iter().position(|l| l == label).map(|k| &self.profiles[k])
+    }
+
+    /// Total memory accesses across every region — equals the whole-trace
+    /// [`TraceProfile::total`].
+    pub fn total(&self) -> u64 {
+        self.profiles.iter().map(|p| p.total).sum()
+    }
+}
+
 impl fmt::Display for TraceProfile {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
@@ -167,7 +215,13 @@ mod tests {
         b.loop_(64, |b, i| {
             b.stmt(|st| {
                 st.read(a, vec![Subscript::var(i)])
-                    .read(c, vec![Subscript::Affine(selcache_ir::AffineExpr::linear(i, 1, 0)), Subscript::constant(0)])
+                    .read(
+                        c,
+                        vec![
+                            Subscript::Affine(selcache_ir::AffineExpr::linear(i, 1, 0)),
+                            Subscript::constant(0),
+                        ],
+                    )
                     .read_scalar(s)
                     .fp(1)
                     .write(a, vec![Subscript::var(i)]);
@@ -201,6 +255,29 @@ mod tests {
         let c = prof.by_name("C").unwrap();
         assert_eq!(c.jumps, 0);
         assert!(c.sequential_share() < 0.1);
+    }
+
+    #[test]
+    fn region_profiles_sum_to_whole_trace() {
+        use selcache_ir::RegionMapBuilder;
+        let p = sample();
+        let whole = TraceProfile::profile(&p, Interp::new(&p));
+        // One region covering every site of the single loop.
+        let mut b = RegionMapBuilder::new();
+        b.open("L0");
+        b.sites(selcache_ir::site_count(&p.items));
+        let map = b.finish();
+        let by_region = RegionProfiles::profile(&p, &map, Interp::with_regions(&p, &map));
+        assert_eq!(by_region.total(), whole.total);
+        let l0 = by_region.by_label("L0").unwrap();
+        assert_eq!(l0.total, whole.total, "all ops land in the single region");
+        assert_eq!(l0.by_name("A").unwrap(), whole.by_name("A").unwrap());
+        assert_eq!(by_region.by_label("(outside)").unwrap().total, 0);
+    }
+
+    #[test]
+    fn sequential_share_zero_on_empty_profile() {
+        assert_eq!(ArrayProfile::default().sequential_share(), 0.0);
     }
 
     #[test]

@@ -160,10 +160,7 @@ impl ReuseProfiler {
 
     /// Convenience: miss ratios at the given cache sizes (in bytes).
     pub fn miss_ratio_curve(&self, sizes: &[u64]) -> Vec<(u64, f64)> {
-        sizes
-            .iter()
-            .map(|&s| (s, self.histogram.miss_ratio(s / self.block_size)))
-            .collect()
+        sizes.iter().map(|&s| (s, self.histogram.miss_ratio(s / self.block_size))).collect()
     }
 }
 
@@ -180,10 +177,7 @@ mod tests {
         let mut p = ReuseProfiler::new(32);
         // a b c a : a's reuse distance is 2 (b, c).
         let d = addrs(&mut p, &[0, 1, 2, 0]);
-        assert_eq!(
-            d,
-            vec![Distance::Cold, Distance::Cold, Distance::Cold, Distance::Finite(2)]
-        );
+        assert_eq!(d, vec![Distance::Cold, Distance::Cold, Distance::Cold, Distance::Finite(2)]);
     }
 
     #[test]

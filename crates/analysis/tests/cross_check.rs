@@ -31,10 +31,8 @@ fn fa_lru_miss_ratio(stream: &[u64], blocks: u64) -> f64 {
 fn mattson_curve_matches_direct_simulation() {
     // A benchmark trace at block granularity.
     let program = Benchmark::TpcDQ3.build(Scale::Tiny);
-    let stream: Vec<u64> = Interp::new(&program)
-        .filter_map(|o| o.kind.addr().map(|a| a.0))
-        .take(60_000)
-        .collect();
+    let stream: Vec<u64> =
+        Interp::new(&program).filter_map(|o| o.kind.addr().map(|a| a.0)).take(60_000).collect();
 
     let mut prof = ReuseProfiler::new(32);
     for &a in &stream {

@@ -14,7 +14,11 @@ fn mixed_trace(n: u64) -> Vec<TraceOp> {
         .map(|i| match i % 4 {
             0 => TraceOp::new(0x40_0000, OpKind::Load(Addr(0x1000_0000 + (i * 8) % (1 << 18)))),
             1 => TraceOp::with_dep(0x40_0004, OpKind::FpAlu, 1),
-            2 => TraceOp::with_dep(0x40_0008, OpKind::Store(Addr(0x1200_0000 + (i * 8) % (1 << 18))), 1),
+            2 => TraceOp::with_dep(
+                0x40_0008,
+                OpKind::Store(Addr(0x1200_0000 + (i * 8) % (1 << 18))),
+                1,
+            ),
             _ => TraceOp::new(0x40_000C, OpKind::Branch { taken: i % 64 != 0 }),
         })
         .collect()

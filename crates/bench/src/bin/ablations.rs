@@ -11,9 +11,7 @@
 //! [-- --scale tiny|small|medium] [--threads N]`
 
 use selcache_bench::Cli;
-use selcache_compiler::{
-    detect_and_mark_with, eliminate_redundant_markers, optimize, OptConfig,
-};
+use selcache_compiler::{detect_and_mark_with, eliminate_redundant_markers, optimize, OptConfig};
 use selcache_core::{
     AssistKind, Benchmark, Experiment, JobEngine, MachineConfig, Scale, SimJob, SimResult, Version,
 };
@@ -97,7 +95,14 @@ fn threshold_ablation(engine: &JobEngine, scale: Scale) {
     for bm in benchmarks {
         for t in thresholds {
             let opt = OptConfig { threshold: t, ..OptConfig::default() };
-            pairs.push(pair(bm, scale, &machine, AssistKind::Bypass, Version::Selective, Some(opt)));
+            pairs.push(pair(
+                bm,
+                scale,
+                &machine,
+                AssistKind::Bypass,
+                Version::Selective,
+                Some(opt),
+            ));
         }
     }
     // The five thresholds share each benchmark's Base run (raw code has no
@@ -199,7 +204,14 @@ fn fusion_distribution_ablation(engine: &JobEngine, scale: Scale) {
     for bm in benchmarks {
         for (fusion, distribute) in [(false, false), (true, false), (false, true)] {
             let cfg = OptConfig { fusion, distribute, ..OptConfig::default() };
-            pairs.push(pair(bm, scale, &machine, AssistKind::None, Version::PureSoftware, Some(cfg)));
+            pairs.push(pair(
+                bm,
+                scale,
+                &machine,
+                AssistKind::None,
+                Version::PureSoftware,
+                Some(cfg),
+            ));
         }
     }
     let cells = improvements(engine, pairs);
@@ -214,27 +226,36 @@ fn pass_ablation(engine: &JobEngine, scale: Scale) {
     println!("== Ablation: compiler pass contributions (Vpenta, pure software) ==");
     let machine = MachineConfig::base();
     let variants: [(&str, OptConfig); 5] = [
-        ("none", OptConfig {
-            pad: false,
-            interchange: false,
-            layout: false,
-            tile: false,
-            scalar_replacement: false,
-            ..OptConfig::default()
-        }),
-        ("+padding", OptConfig {
-            interchange: false,
-            layout: false,
-            tile: false,
-            scalar_replacement: false,
-            ..OptConfig::default()
-        }),
-        ("+interchange", OptConfig {
-            layout: false,
-            tile: false,
-            scalar_replacement: false,
-            ..OptConfig::default()
-        }),
+        (
+            "none",
+            OptConfig {
+                pad: false,
+                interchange: false,
+                layout: false,
+                tile: false,
+                scalar_replacement: false,
+                ..OptConfig::default()
+            },
+        ),
+        (
+            "+padding",
+            OptConfig {
+                interchange: false,
+                layout: false,
+                tile: false,
+                scalar_replacement: false,
+                ..OptConfig::default()
+            },
+        ),
+        (
+            "+interchange",
+            OptConfig {
+                layout: false,
+                tile: false,
+                scalar_replacement: false,
+                ..OptConfig::default()
+            },
+        ),
         ("+layout", OptConfig { tile: false, scalar_replacement: false, ..OptConfig::default() }),
         ("all passes", OptConfig::default()),
     ];
@@ -258,11 +279,11 @@ fn pass_ablation(engine: &JobEngine, scale: Scale) {
         );
     }
     let results = engine.run(&jobs);
-    let base: SimResult = results[0];
+    let base: &SimResult = &results[0];
     for ((name, _), r) in variants.iter().zip(&results[1..]) {
         println!(
             "{name:<14} improvement={:.2}%  l1 miss={:.1}%",
-            r.improvement_over(&base),
+            r.improvement_over(base),
             r.l1_miss_pct()
         );
     }

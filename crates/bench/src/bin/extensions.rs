@@ -72,11 +72,7 @@ fn assists_table(engine: &JobEngine, scale: Scale) {
     );
     let machine = MachineConfig::base();
     let assists = [AssistKind::Bypass, AssistKind::Victim, AssistKind::Stream];
-    eprintln!(
-        "running {} suites at scale {scale} ({} threads)…",
-        assists.len(),
-        engine.threads()
-    );
+    eprintln!("running {} suites at scale {scale} ({} threads)…", assists.len(), engine.threads());
     let mut jobs = Vec::new();
     for &assist in &assists {
         jobs.extend(SuiteResult::jobs(&machine, assist, scale, &Benchmark::ALL));
@@ -105,12 +101,8 @@ fn extension_passes(engine: &JobEngine, scale: Scale) {
     );
     let machine = MachineConfig::base();
     let benchmarks = [Benchmark::Vpenta, Benchmark::Swim, Benchmark::TpcDQ1, Benchmark::Chaos];
-    let configs = [
-        (false, false, false),
-        (true, false, false),
-        (false, true, false),
-        (false, false, true),
-    ];
+    let configs =
+        [(false, false, false), (true, false, false), (false, true, false), (false, false, true)];
     let mut jobs = Vec::new();
     for &bm in &benchmarks {
         jobs.push(SimJob::new(bm, scale, machine.clone(), AssistKind::None, Version::Base));
@@ -124,8 +116,8 @@ fn extension_passes(engine: &JobEngine, scale: Scale) {
     }
     let results = engine.run(&jobs);
     for (bm, chunk) in benchmarks.iter().zip(results.chunks_exact(1 + configs.len())) {
-        let base = chunk[0];
-        let cells: Vec<f64> = chunk[1..].iter().map(|r| r.improvement_over(&base)).collect();
+        let base = &chunk[0];
+        let cells: Vec<f64> = chunk[1..].iter().map(|r| r.improvement_over(base)).collect();
         println!(
             "{:<12} {:>8.2}% {:>8.2}% {:>8.2}% {:>11.2}%",
             bm.name(),

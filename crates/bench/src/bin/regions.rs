@@ -1,0 +1,73 @@
+//! Per-region attribution of the selective scheme: for each benchmark,
+//! runs the `Selective` version with a region profile attached and prints
+//! one table per benchmark — cycles, misses, and assist coverage broken
+//! down by the compiler's uniform-region partition, with a TOTAL row that
+//! matches the aggregate counters exactly.
+//!
+//! All runs are submitted as one job set, so the pool keeps every core
+//! busy and deduplicated runs are simulated once. `--format json` emits
+//! the profiles as a JSON array instead of the tables.
+use selcache_bench::json::Json;
+use selcache_bench::{Cli, OutputFormat};
+use selcache_core::{format_region_report, MachineConfig, SimJob, SimResult, Version};
+
+fn region_json(r: &selcache_core::RegionStats) -> Json {
+    Json::obj([
+        ("label", Json::str(r.label.clone())),
+        ("cycles", Json::UInt(r.cycles)),
+        ("committed", Json::UInt(r.committed)),
+        ("loads", Json::UInt(r.loads)),
+        ("stores", Json::UInt(r.stores)),
+        ("l1d_accesses", Json::UInt(r.l1d_accesses)),
+        ("l1d_misses", Json::UInt(r.l1d_misses)),
+        ("l2_accesses", Json::UInt(r.l2_accesses)),
+        ("l2_misses", Json::UInt(r.l2_misses)),
+        ("assisted_accesses", Json::UInt(r.assisted_accesses)),
+        ("assist_hits", Json::UInt(r.assist_hits)),
+        ("toggles", Json::UInt(r.toggles)),
+        ("assist_coverage_pct", Json::Num(r.assist_coverage_pct())),
+    ])
+}
+
+fn result_json(name: &str, r: &SimResult) -> Json {
+    let profile = r.regions.as_ref().expect("profiled run");
+    Json::obj([
+        ("benchmark", Json::str(name)),
+        ("version", Json::str("selective")),
+        ("cycles", Json::UInt(r.cycles)),
+        ("instructions", Json::UInt(r.instructions)),
+        ("regions", Json::Arr(profile.regions().iter().map(region_json).collect())),
+    ])
+}
+
+fn main() {
+    let cli = Cli::from_env();
+    let engine = cli.engine();
+    let benchmarks = cli.benchmarks();
+    let machine = MachineConfig::base();
+    eprintln!(
+        "profiling {} benchmarks (selective, {:?} assist) at scale {} ({} threads)…",
+        benchmarks.len(),
+        cli.assist,
+        cli.scale,
+        engine.threads()
+    );
+    let jobs: Vec<SimJob> = benchmarks
+        .iter()
+        .map(|&bm| SimJob::new(bm, cli.scale, machine.clone(), cli.assist, Version::Selective))
+        .collect();
+    let results = engine.run_profiled(&jobs);
+    match cli.format {
+        OutputFormat::Text => {
+            for (bm, r) in benchmarks.iter().zip(&results) {
+                print!("{}", format_region_report(bm.name(), r));
+                println!();
+            }
+        }
+        OutputFormat::Json => {
+            let rows: Vec<Json> =
+                benchmarks.iter().zip(&results).map(|(bm, r)| result_json(bm.name(), r)).collect();
+            println!("{}", Json::Arr(rows));
+        }
+    }
+}

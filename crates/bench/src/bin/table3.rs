@@ -4,8 +4,23 @@
 //! All twelve suites (six machines x two assists) are submitted as one job
 //! set, so the engine shares each machine's Base and PureSoftware runs
 //! between its bypass and victim sweeps and keeps every core busy.
-use selcache_bench::Cli;
-use selcache_core::{format_table3, table3_rows, ConfigVariant};
+//! `--format json` emits the rows as a JSON array instead of the table.
+use selcache_bench::json::Json;
+use selcache_bench::{Cli, OutputFormat};
+use selcache_core::{format_table3, table3_rows, ConfigVariant, Table3Row};
+
+fn row_json(r: &Table3Row) -> Json {
+    Json::obj([
+        ("machine", Json::str(r.machine_name)),
+        ("pure_software", Json::Num(r.pure_software)),
+        ("cache_bypass", Json::Num(r.cache_bypass)),
+        ("combined_bypass", Json::Num(r.combined_bypass)),
+        ("selective_bypass", Json::Num(r.selective_bypass)),
+        ("victim", Json::Num(r.victim)),
+        ("combined_victim", Json::Num(r.combined_victim)),
+        ("selective_victim", Json::Num(r.selective_victim)),
+    ])
+}
 
 fn main() {
     let cli = Cli::from_env();
@@ -18,5 +33,10 @@ fn main() {
         engine.threads()
     );
     let rows = table3_rows(&engine, &machines, cli.scale, &cli.benchmarks());
-    print!("{}", format_table3(&rows));
+    match cli.format {
+        OutputFormat::Text => print!("{}", format_table3(&rows)),
+        OutputFormat::Json => {
+            println!("{}", Json::Arr(rows.iter().map(row_json).collect()));
+        }
+    }
 }

@@ -1,0 +1,129 @@
+//! A minimal JSON writer for `--format json` output.
+//!
+//! The harness depends on nothing outside the workspace, so instead of a
+//! serde stack this is a tiny value tree with a renderer: enough to emit
+//! tables of numbers and strings, with correct string escaping and
+//! locale-independent number formatting.
+
+use std::fmt;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// A string (escaped on render).
+    Str(String),
+    /// An unsigned integer, rendered without a fraction.
+    UInt(u64),
+    /// A float, rendered with enough precision to round-trip; non-finite
+    /// values render as `null` (JSON has no NaN/Infinity).
+    Num(f64),
+    /// A boolean.
+    Bool(bool),
+    /// An ordered array.
+    Arr(Vec<Json>),
+    /// An object; keys render in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// An object builder from key/value pairs.
+    pub fn obj(pairs: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// A string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+}
+
+fn escape(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn render(v: &Json, out: &mut String) {
+    match v {
+        Json::Str(s) => escape(s, out),
+        Json::UInt(n) => {
+            let _ = fmt::Write::write_fmt(out, format_args!("{n}"));
+        }
+        Json::Num(x) if x.is_finite() => {
+            let _ = fmt::Write::write_fmt(out, format_args!("{x}"));
+        }
+        Json::Num(_) => out.push_str("null"),
+        Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Json::Arr(items) => {
+            out.push('[');
+            for (k, item) in items.iter().enumerate() {
+                if k > 0 {
+                    out.push(',');
+                }
+                render(item, out);
+            }
+            out.push(']');
+        }
+        Json::Obj(pairs) => {
+            out.push('{');
+            for (k, (key, val)) in pairs.iter().enumerate() {
+                if k > 0 {
+                    out.push(',');
+                }
+                escape(key, out);
+                out.push(':');
+                render(val, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::new();
+        render(self, &mut s);
+        f.write_str(&s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(Json::UInt(42).to_string(), "42");
+        assert_eq!(Json::Num(2.5).to_string(), "2.5");
+        assert_eq!(Json::Num(f64::NAN).to_string(), "null");
+        assert_eq!(Json::Bool(true).to_string(), "true");
+        assert_eq!(Json::str("hi").to_string(), "\"hi\"");
+    }
+
+    #[test]
+    fn strings_escape_specials() {
+        assert_eq!(Json::str("a\"b\\c\nd").to_string(), r#""a\"b\\c\nd""#);
+        assert_eq!(Json::str("\u{1}").to_string(), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn nesting_renders_in_order() {
+        let v = Json::obj([
+            ("name", Json::str("adi")),
+            ("vals", Json::Arr(vec![Json::UInt(1), Json::Num(0.5)])),
+        ]);
+        assert_eq!(v.to_string(), r#"{"name":"adi","vals":[1,0.5]}"#);
+    }
+}

@@ -13,23 +13,27 @@
 //! | `fig8`   | Figure 8 | % improvement, 8-way L2 |
 //! | `fig9`   | Figure 9 | % improvement, 8-way L1 |
 //! | `table3` | Table 3  | average improvements across all six machines and both assists |
+//! | `regions` | —       | per-region cycles/misses/assist coverage of the selective version |
 //!
 //! Every binary accepts `--scale tiny|small|medium` (default `small`),
 //! `--victim`/`--stream` to switch the figures' assist, `--threads N` to
 //! size the simulation pool (default: all cores; output is identical for
 //! every `N`), and `--subset bench,bench,...` to restrict the suite.
+//! `table3` and `regions` also accept `--format text|json`.
 //! Criterion benches (`cargo bench`) measure simulator component
 //! throughput and run the ablation studies listed in `DESIGN.md`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod json;
+
 use selcache_core::{AssistKind, Benchmark, ConfigVariant, JobEngine, Scale, SuiteResult};
 use std::fmt;
 
 /// Usage string the binaries print when argument parsing fails.
 pub const USAGE: &str = "usage: [--scale tiny|small|medium] [--bypass|--victim|--stream] \
-[--threads N] [--subset bench,bench,...] [--csv <path>]";
+[--threads N] [--subset bench,bench,...] [--csv <path>] [--format text|json]";
 
 /// Why the command line failed to parse.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -44,6 +48,18 @@ pub enum CliError {
     InvalidThreads(String),
     /// A `--subset` entry named no known benchmark.
     UnknownBenchmark(String),
+    /// `--format` value was not `text|json`.
+    InvalidFormat(String),
+}
+
+/// Output format for binaries that support `--format`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum OutputFormat {
+    /// Human-readable aligned tables (the default).
+    #[default]
+    Text,
+    /// Machine-readable JSON on stdout.
+    Json,
 }
 
 impl fmt::Display for CliError {
@@ -59,6 +75,9 @@ impl fmt::Display for CliError {
             }
             CliError::UnknownBenchmark(v) => {
                 write!(f, "unknown benchmark {v:?}; known: {}", known_benchmarks())
+            }
+            CliError::InvalidFormat(v) => {
+                write!(f, "unknown format {v:?}; use text|json")
             }
         }
     }
@@ -100,6 +119,8 @@ pub struct Cli {
     pub threads: usize,
     /// Benchmarks to run (`None` = the full suite).
     pub subset: Option<Vec<Benchmark>>,
+    /// Output format for binaries that support `--format`.
+    pub format: OutputFormat,
 }
 
 impl Default for Cli {
@@ -110,6 +131,7 @@ impl Default for Cli {
             csv: None,
             threads: 0,
             subset: None,
+            format: OutputFormat::Text,
         }
     }
 }
@@ -153,6 +175,14 @@ impl Cli {
                 "--csv" => {
                     let v = args.next().ok_or(CliError::MissingValue("--csv"))?;
                     out.csv = Some(v.into());
+                }
+                "--format" => {
+                    let v = args.next().ok_or(CliError::MissingValue("--format"))?;
+                    out.format = match v.as_str() {
+                        "text" => OutputFormat::Text,
+                        "json" => OutputFormat::Json,
+                        _ => return Err(CliError::InvalidFormat(v)),
+                    };
                 }
                 other => return Err(CliError::UnknownArgument(other.into())),
             }
@@ -199,13 +229,8 @@ pub fn run_figure(variant: ConfigVariant) {
         cli.assist,
         engine.threads()
     );
-    let suite = SuiteResult::run_with(
-        &engine,
-        variant.machine(),
-        cli.assist,
-        cli.scale,
-        &cli.benchmarks(),
-    );
+    let suite =
+        SuiteResult::run_with(&engine, variant.machine(), cli.assist, cli.scale, &cli.benchmarks());
     print!("{}", suite.format_figure(variant.figure()));
     if let Some(path) = &cli.csv {
         if let Err(e) = std::fs::write(path, suite.to_csv()) {
@@ -232,18 +257,25 @@ mod tests {
     #[test]
     fn parses_every_flag() {
         let c = Cli::parse([
-            "--scale", "tiny", "--victim", "--threads", "4", "--subset", "adi,li,tpc-dq6",
-            "--csv", "/tmp/out.csv",
+            "--scale",
+            "tiny",
+            "--victim",
+            "--threads",
+            "4",
+            "--subset",
+            "adi,li,tpc-dq6",
+            "--csv",
+            "/tmp/out.csv",
+            "--format",
+            "json",
         ])
         .unwrap();
         assert_eq!(c.scale, Scale::Tiny);
         assert_eq!(c.assist, AssistKind::Victim);
         assert_eq!(c.threads, 4);
-        assert_eq!(
-            c.benchmarks(),
-            vec![Benchmark::Adi, Benchmark::Li, Benchmark::TpcDQ6]
-        );
+        assert_eq!(c.benchmarks(), vec![Benchmark::Adi, Benchmark::Li, Benchmark::TpcDQ6]);
         assert_eq!(c.csv.as_deref(), Some(std::path::Path::new("/tmp/out.csv")));
+        assert_eq!(c.format, OutputFormat::Json);
     }
 
     #[test]
@@ -253,18 +285,13 @@ mod tests {
             Err(CliError::UnknownArgument("--frobnicate".into()))
         );
         assert_eq!(Cli::parse(["--scale"]), Err(CliError::MissingValue("--scale")));
-        assert_eq!(
-            Cli::parse(["--scale", "huge"]),
-            Err(CliError::InvalidScale("huge".into()))
-        );
-        assert_eq!(
-            Cli::parse(["--threads", "-1"]),
-            Err(CliError::InvalidThreads("-1".into()))
-        );
+        assert_eq!(Cli::parse(["--scale", "huge"]), Err(CliError::InvalidScale("huge".into())));
+        assert_eq!(Cli::parse(["--threads", "-1"]), Err(CliError::InvalidThreads("-1".into())));
         assert_eq!(
             Cli::parse(["--subset", "adi,nosuch"]),
             Err(CliError::UnknownBenchmark("nosuch".into()))
         );
+        assert_eq!(Cli::parse(["--format", "yaml"]), Err(CliError::InvalidFormat("yaml".into())));
         // Errors render with guidance.
         let msg = CliError::InvalidScale("huge".into()).to_string();
         assert!(msg.contains("tiny|small|medium"), "{msg}");

@@ -54,11 +54,8 @@ fn flip_markers(items: &mut [Item], policy: AssistPolicy) {
             Item::Marker(m) => {
                 // The paper-rule marking encodes the preference: On =
                 // hardware region, Off = software region. Re-map it.
-                let pref = if *m == Marker::On {
-                    Preference::Hardware
-                } else {
-                    Preference::Software
-                };
+                let pref =
+                    if *m == Marker::On { Preference::Hardware } else { Preference::Software };
                 *m = policy.marker_for(pref);
             }
             Item::Loop(Loop { body, .. }) => flip_markers(body, policy),
@@ -135,14 +132,11 @@ mod tests {
     #[test]
     fn policies_preserve_work() {
         let p = mixed();
-        let loads = |p: &Program| {
-            Interp::new(p).filter(|o| matches!(o.kind, OpKind::Load(_))).count()
-        };
-        for policy in [
-            AssistPolicy::IrregularRegions,
-            AssistPolicy::RegularRegions,
-            AssistPolicy::Always,
-        ] {
+        let loads =
+            |p: &Program| Interp::new(p).filter(|o| matches!(o.kind, OpKind::Load(_))).count();
+        for policy in
+            [AssistPolicy::IrregularRegions, AssistPolicy::RegularRegions, AssistPolicy::Always]
+        {
             let m = insert_markers_for(&p, 0.5, policy);
             assert_eq!(loads(&p), loads(&m), "{policy:?}");
             assert!(m.validate().is_ok());

@@ -151,9 +151,7 @@ mod tests {
         b.loop_(64, |b, i| {
             b.stmt(|s| {
                 // 2 analyzable + 1 pointer = ratio 2/3.
-                s.read(a, vec![Subscript::var(i)])
-                    .write(a, vec![Subscript::var(i)])
-                    .chase(h, n, 0);
+                s.read(a, vec![Subscript::var(i)]).write(a, vec![Subscript::var(i)]).chase(h, n, 0);
             });
         });
         let p = b.finish().unwrap();

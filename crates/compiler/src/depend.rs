@@ -62,8 +62,7 @@ fn pair_distance(nest: &[VarId], a: &[Subscript], b: &[Subscript]) -> Option<Vec
             // Non-affine dimension: cannot reason, everything stays Any.
             _ => return Some(dist),
         };
-        let (Some((ta, ca)), Some((tb, cb))) = (nest_terms(ea, nest), nest_terms(eb, nest))
-        else {
+        let (Some((ta, ca)), Some((tb, cb))) = (nest_terms(ea, nest), nest_terms(eb, nest)) else {
             return Some(dist);
         };
         if ta != tb {
@@ -72,11 +71,10 @@ fn pair_distance(nest: &[VarId], a: &[Subscript], b: &[Subscript]) -> Option<Vec
             continue;
         }
         match ta.as_slice() {
-            []
-                if ca != cb => {
-                    // Constant subscripts that differ: no dependence at all.
-                    return None;
-                }
+            [] if ca != cb => {
+                // Constant subscripts that differ: no dependence at all.
+                return None;
+            }
             [(k, c)] => {
                 let delta = ca - cb;
                 if delta % c != 0 {
@@ -255,10 +253,8 @@ mod tests {
             aref(0, vec![Subscript::var(v(0)), Subscript::var(v(1))], true),
         ]);
         let deps = nest_dependences(&[v(0), v(1)], &[&s]);
-        assert!(deps
-            .iter()
-            .any(|d| d.distance == vec![Dist::Exact(1), Dist::Exact(0)]
-                || d.distance == vec![Dist::Exact(-1), Dist::Exact(0)]));
+        assert!(deps.iter().any(|d| d.distance == vec![Dist::Exact(1), Dist::Exact(0)]
+            || d.distance == vec![Dist::Exact(-1), Dist::Exact(0)]));
     }
 
     #[test]

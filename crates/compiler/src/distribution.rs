@@ -25,10 +25,7 @@ fn fresh_loop(next: &mut u32) -> LoopId {
 /// `i_earlier <= i_later`. That is exactly the loop-fusion legality
 /// condition, so the check is shared.
 fn forward_only(vars: &[VarId], earlier: &Stmt, later: &Stmt) -> bool {
-    earlier
-        .refs
-        .iter()
-        .all(|r1| later.refs.iter().all(|r2| pair_fusable(vars, r1, r2)))
+    earlier.refs.iter().all(|r1| later.refs.iter().all(|r2| pair_fusable(vars, r1, r2)))
 }
 
 /// True if the two statements conflict at all (shared array with a write);
@@ -80,9 +77,8 @@ pub fn distribute_nest(next_loop: &mut u32, l: &Loop) -> Option<Vec<Loop>> {
     for s in stmts {
         let mut placed = false;
         if let Some(group) = groups.last_mut() {
-            let must_stay = group.iter().any(|g| {
-                stmts_dependent(&vars, g, &s) && !forward_only(&vars, g, &s)
-            });
+            let must_stay =
+                group.iter().any(|g| stmts_dependent(&vars, g, &s) && !forward_only(&vars, g, &s));
             if must_stay {
                 group.push(s.clone());
                 placed = true;
@@ -131,9 +127,7 @@ pub fn distribute_loops(program: &mut Program, threshold: f64) -> usize {
         while i < items.len() {
             let replacement = match &mut items[i] {
                 Item::Loop(l) => match analyze_loop(l, threshold) {
-                    RegionClass::Uniform(Preference::Software) => {
-                        distribute_nest(next_loop, l)
-                    }
+                    RegionClass::Uniform(Preference::Software) => distribute_nest(next_loop, l),
                     RegionClass::Mixed => {
                         n += walk(&mut l.body, threshold, next_loop);
                         None

@@ -77,18 +77,16 @@ fn dim_offset(vars: &[VarId], s1: &Subscript, s2: &Subscript) -> Option<Vec<Opti
     let t1 = e1.terms();
     let t2 = e2.terms();
     if t1.len() != t2.len() || t1.len() > 1 {
-        return (t1.is_empty()
-            && t2.is_empty()
-            && e1.constant_term() == e2.constant_term())
-        .then(|| offsets.clone())
-        .or(if t1.is_empty() && t2.is_empty() {
-            // Distinct constants: no dependence at all — signalled by the
-            // caller treating None as "unknown", so return a sentinel of
-            // all-None with a marker... use empty vec to mean "no overlap".
-            Some(Vec::new())
-        } else {
-            None
-        });
+        return (t1.is_empty() && t2.is_empty() && e1.constant_term() == e2.constant_term())
+            .then(|| offsets.clone())
+            .or(if t1.is_empty() && t2.is_empty() {
+                // Distinct constants: no dependence at all — signalled by the
+                // caller treating None as "unknown", so return a sentinel of
+                // all-None with a marker... use empty vec to mean "no overlap".
+                Some(Vec::new())
+            } else {
+                None
+            });
     }
     if t1.is_empty() {
         return if e1.constant_term() == e2.constant_term() {
@@ -136,7 +134,7 @@ pub(crate) fn pair_fusable(vars: &[VarId], r1: &Ref, r2: &Ref) -> bool {
     let mut combined: Vec<Option<i64>> = vec![None; vars.len()];
     for (d1, d2) in s1.iter().zip(s2.iter()) {
         match dim_offset(vars, d1, d2) {
-            None => return false,              // unprovable
+            None => return false,                   // unprovable
             Some(v) if v.is_empty() => return true, // provably disjoint
             Some(offsets) => {
                 for (c, o) in combined.iter_mut().zip(offsets) {
@@ -160,21 +158,12 @@ fn nests_fusable(n1: &PerfectNest, n2: &PerfectNest) -> bool {
     if n1.levels.len() != n2.levels.len() || !n1.is_flat() || !n2.is_flat() {
         return false;
     }
-    if !n1
-        .levels
-        .iter()
-        .zip(&n2.levels)
-        .all(|(a, b)| a.trip == b.trip)
-    {
+    if !n1.levels.iter().zip(&n2.levels).all(|(a, b)| a.trip == b.trip) {
         return false;
     }
     let vars = n1.vars();
     let from = n2.vars();
-    let stmts2: Vec<Stmt> = n2
-        .stmts()
-        .iter()
-        .map(|s| rename_stmt(s, &from, &vars))
-        .collect();
+    let stmts2: Vec<Stmt> = n2.stmts().iter().map(|s| rename_stmt(s, &from, &vars)).collect();
     for s1 in n1.stmts() {
         for r1 in &s1.refs {
             for s2 in &stmts2 {

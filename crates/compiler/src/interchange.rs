@@ -29,7 +29,8 @@ pub fn interchange_nest(arrays: &[ArrayDecl], l: &Loop, block_bytes: u64) -> Opt
     // innermost position.
     let mut candidates = vec![desired.clone()];
     let preferred_inner = *desired.last().expect("non-empty permutation");
-    let mut rotate: Vec<usize> = identity.iter().copied().filter(|&k| k != preferred_inner).collect();
+    let mut rotate: Vec<usize> =
+        identity.iter().copied().filter(|&k| k != preferred_inner).collect();
     rotate.push(preferred_inner);
     if rotate != desired && rotate != identity {
         candidates.push(rotate);
@@ -47,7 +48,7 @@ pub fn interchange_nest(arrays: &[ArrayDecl], l: &Loop, block_bytes: u64) -> Opt
 #[cfg(test)]
 mod tests {
     use super::*;
-    use selcache_ir::{ProgramBuilder, Program, Subscript};
+    use selcache_ir::{Program, ProgramBuilder, Subscript};
 
     /// The paper's Section 3.2 example: `for i { for j { U[j] += V[i][j] *
     /// W[j][i] } }`. Temporal reuse of `U[j]` is carried by `i`, so the
@@ -123,12 +124,9 @@ mod tests {
         // order so the cost model wants to interchange).
         b.nest2(64, 64, |b, i, j| {
             b.stmt(|s| {
-                s.read(
-                    a,
-                    vec![Subscript::linear(i, 1, -1), Subscript::linear(j, 1, 1)],
-                )
-                .fp(1)
-                .write(a, vec![Subscript::var(i), Subscript::var(j)]);
+                s.read(a, vec![Subscript::linear(i, 1, -1), Subscript::linear(j, 1, 1)])
+                    .fp(1)
+                    .write(a, vec![Subscript::var(i), Subscript::var(j)]);
             });
         });
         let p = b.finish().unwrap();
@@ -139,12 +137,9 @@ mod tests {
         let a2 = bcol.array("A", &[64, 64], 8);
         bcol.nest2(64, 64, |b, i, j| {
             b.stmt(|s| {
-                s.read(
-                    a2,
-                    vec![Subscript::linear(j, 1, 1), Subscript::linear(i, 1, -1)],
-                )
-                .fp(1)
-                .write(a2, vec![Subscript::var(j), Subscript::var(i)]);
+                s.read(a2, vec![Subscript::linear(j, 1, 1), Subscript::linear(i, 1, -1)])
+                    .fp(1)
+                    .write(a2, vec![Subscript::var(j), Subscript::var(i)]);
             });
         });
         let p2 = bcol.finish().unwrap();

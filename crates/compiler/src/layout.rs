@@ -10,8 +10,8 @@
 use crate::classify::Preference;
 use crate::nest::PerfectNest;
 use crate::region::{analyze_loop, RegionClass};
-use selcache_ir::{Item, Layout, Program, RefPattern};
 use selcache_ir::Subscript;
+use selcache_ir::{Item, Layout, Program, RefPattern};
 
 /// One array's accumulated votes: weight per source dimension.
 type Votes = Vec<f64>;
@@ -204,7 +204,8 @@ mod tests {
 
     #[test]
     fn helper_last_dim_uses() {
-        let subs = vec![Subscript::var(selcache_ir::VarId(0)), Subscript::var(selcache_ir::VarId(1))];
+        let subs =
+            vec![Subscript::var(selcache_ir::VarId(0)), Subscript::var(selcache_ir::VarId(1))];
         assert!(last_dim_uses(&subs, selcache_ir::VarId(1)));
         assert!(!last_dim_uses(&subs, selcache_ir::VarId(0)));
     }

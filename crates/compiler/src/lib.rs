@@ -68,7 +68,10 @@ pub use nest::{NestLevel, PerfectNest};
 pub use padding::{pad_arrays, PaddingConfig};
 pub use passes::{apply_to_software_loops, insert_markers, optimize, selective, OptConfig};
 pub use redundant::eliminate_redundant_markers;
-pub use region::{analyze_loop, detect_and_mark, detect_and_mark_with, RegionClass, MIN_REGION_VOLUME};
+pub use region::{
+    analyze_loop, detect_and_mark, detect_and_mark_with, region_partition, region_partition_with,
+    RegionClass, MIN_REGION_VOLUME,
+};
 pub use reuse::{innermost_cost, preferred_permutation, ref_stride};
 pub use scalar::scalar_replace;
 pub use tiling::{tile_nest, IdAlloc, TilingConfig};

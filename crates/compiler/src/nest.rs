@@ -77,14 +77,11 @@ impl PerfectNest {
         let mut levels = self.levels;
         assert!(!levels.is_empty(), "cannot rebuild an empty nest");
         let innermost = levels.pop().expect("nonempty");
-        let mut current = Loop {
-            id: innermost.id,
-            var: innermost.var,
-            trip: innermost.trip,
-            body: self.body,
-        };
+        let mut current =
+            Loop { id: innermost.id, var: innermost.var, trip: innermost.trip, body: self.body };
         while let Some(lv) = levels.pop() {
-            current = Loop { id: lv.id, var: lv.var, trip: lv.trip, body: vec![Item::Loop(current)] };
+            current =
+                Loop { id: lv.id, var: lv.var, trip: lv.trip, body: vec![Item::Loop(current)] };
         }
         current
     }

@@ -95,11 +95,7 @@ mod tests {
         assert_eq!(residues.len(), 8, "all bases distinct modulo the set span");
         // And they match the requested stagger pattern.
         for k in 0..8u32 {
-            assert_eq!(
-                m.array_base(ArrayId(k)).0 % 8192,
-                (k as u64 * 1280) % 8192,
-                "array {k}"
-            );
+            assert_eq!(m.array_base(ArrayId(k)).0 % 8192, (k as u64 * 1280) % 8192, "array {k}");
         }
     }
 

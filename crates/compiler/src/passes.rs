@@ -101,8 +101,7 @@ fn walk(
                     }
                 }
                 RegionClass::Mixed => {
-                    applied +=
-                        walk(&mut l.body, arrays, threshold, num_vars, num_loops, false, f);
+                    applied += walk(&mut l.body, arrays, threshold, num_vars, num_loops, false, f);
                 }
                 RegionClass::Uniform(Preference::Hardware) => {}
             }
@@ -230,11 +229,8 @@ mod tests {
         let o = optimize(&p, &OptConfig::default());
         assert!(o.validate().is_ok());
         // The irregular loop is untouched: same gather count.
-        let gathers = |p: &Program| {
-            Interp::new(p)
-                .filter(|o| matches!(o.kind, OpKind::Load(_)))
-                .count()
-        };
+        let gathers =
+            |p: &Program| Interp::new(p).filter(|o| matches!(o.kind, OpKind::Load(_))).count();
         // FP work unchanged (reductions all performed).
         let fp = |p: &Program| Interp::new(p).filter(|o| o.kind == OpKind::FpAlu).count();
         assert_eq!(fp(&p), fp(&o));
@@ -245,15 +241,8 @@ mod tests {
     fn optimize_reduces_memory_traffic() {
         let p = mixed_program();
         let o = optimize(&p, &OptConfig::default());
-        let mem_ops = |p: &Program| {
-            Interp::new(p).filter(|op| op.kind.is_mem()).count()
-        };
-        assert!(
-            mem_ops(&o) < mem_ops(&p),
-            "optimized {} >= base {}",
-            mem_ops(&o),
-            mem_ops(&p)
-        );
+        let mem_ops = |p: &Program| Interp::new(p).filter(|op| op.kind.is_mem()).count();
+        assert!(mem_ops(&o) < mem_ops(&p), "optimized {} >= base {}", mem_ops(&o), mem_ops(&p));
     }
 
     #[test]
@@ -320,9 +309,8 @@ mod tests {
             crate::interchange::interchange_nest(arrays, l, 32)
         });
         assert_eq!(ni, 1);
-        let n = apply_to_software_loops(&mut p, 0.5, &mut |arrays, _ids, l| {
-            scalar_replace(arrays, l)
-        });
+        let n =
+            apply_to_software_loops(&mut p, 0.5, &mut |arrays, _ids, l| scalar_replace(arrays, l));
         assert_eq!(n, 1); // only the regular nest
     }
 }

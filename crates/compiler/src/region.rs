@@ -13,7 +13,7 @@
 //! elimination of [`crate::redundant`] then produces Figure 2(c).
 
 use crate::classify::{items_counts, stmt_counts, Preference, RefCounts};
-use selcache_ir::{Item, Loop, Marker, Program};
+use selcache_ir::{site_count, Item, Loop, Marker, Program, RegionMap, RegionMapBuilder};
 
 /// Classification of a loop region.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -115,7 +115,9 @@ fn mark_items(items: &[Item], threshold: f64, min_volume: f64, out: &mut Vec<Ite
                     // small to bracket individually. Classify the whole loop
                     // by its volume-weighted reference mix.
                     let fine_grained = l.body.iter().all(|it| match it {
-                        Item::Loop(inner) => dyn_stmts(&inner.body, inner.trip.max().max(0) as f64) < min_volume,
+                        Item::Loop(inner) => {
+                            dyn_stmts(&inner.body, inner.trip.max().max(0) as f64) < min_volume
+                        }
                         _ => true,
                     });
                     if fine_grained {
@@ -131,12 +133,7 @@ fn mark_items(items: &[Item], threshold: f64, min_volume: f64, out: &mut Vec<Ite
                         // Recurse: children get their own markers.
                         let mut body = Vec::new();
                         mark_items(&l.body, threshold, min_volume, &mut body);
-                        out.push(Item::Loop(Loop {
-                            id: l.id,
-                            var: l.var,
-                            trip: l.trip,
-                            body,
-                        }));
+                        out.push(Item::Loop(Loop { id: l.id, var: l.var, trip: l.trip, body }));
                     }
                 }
             },
@@ -166,6 +163,79 @@ pub fn detect_and_mark_with(program: &Program, threshold: f64, min_volume: f64) 
     let mut items = Vec::new();
     mark_items(&program.items, threshold, min_volume, &mut items);
     Program { items, ..program.clone() }
+}
+
+fn pref_tag(p: Preference) -> &'static str {
+    match p {
+        Preference::Hardware => "hw",
+        Preference::Software => "sw",
+    }
+}
+
+fn partition_items(items: &[Item], threshold: f64, min_volume: f64, b: &mut RegionMapBuilder) {
+    for item in items {
+        match item {
+            Item::Loop(l) => match analyze_loop(l, threshold) {
+                RegionClass::Uniform(p) => {
+                    b.open(format!("L{}:{}", l.id.0, pref_tag(p)));
+                    b.sites(site_count(std::slice::from_ref(item)));
+                }
+                RegionClass::Mixed => {
+                    let fine_grained = l.body.iter().all(|it| match it {
+                        Item::Loop(inner) => {
+                            dyn_stmts(&inner.body, inner.trip.max().max(0) as f64) < min_volume
+                        }
+                        _ => true,
+                    });
+                    if fine_grained {
+                        let (ana, tot) = weighted_counts(&l.body, 1.0);
+                        let p = if tot == 0.0 || ana / tot > threshold {
+                            Preference::Software
+                        } else {
+                            Preference::Hardware
+                        };
+                        b.open(format!("L{}:mix-{}", l.id.0, pref_tag(p)));
+                        b.sites(site_count(std::slice::from_ref(item)));
+                    } else {
+                        // Coarse mixed loop: the header/latch is control
+                        // overhead outside any child region; children open
+                        // their own regions.
+                        b.open(format!("L{}:ctl", l.id.0));
+                        b.site();
+                        partition_items(&l.body, threshold, min_volume, b);
+                    }
+                }
+            },
+            Item::Block(stmts) => {
+                let c = stmts.iter().fold(RefCounts::default(), |acc, s| acc.merge(stmt_counts(s)));
+                b.open(format!("stmts:{}", pref_tag(c.preference(threshold))));
+                b.sites(stmts.len());
+            }
+            Item::Marker(_) => b.pending_site(),
+        }
+    }
+}
+
+/// Partitions a program into the uniform regions the Section 2.2 algorithm
+/// distinguishes, returning a site-indexed [`RegionMap`] for trace
+/// attribution.
+///
+/// The partition mirrors [`detect_and_mark`]'s marker granularity exactly —
+/// a uniform loop nest is one region, a fine-grained mixed loop is one
+/// region, a coarse mixed loop contributes a control region for its
+/// header/latch and recurses — so per-region statistics line up with the
+/// ON/OFF brackets the selective scheme inserts. Marker items already in
+/// the program attach to the region that follows them (the paper places
+/// markers immediately before the region they control).
+pub fn region_partition(program: &Program, threshold: f64) -> RegionMap {
+    region_partition_with(program, threshold, MIN_REGION_VOLUME)
+}
+
+/// [`region_partition`] with an explicit fine-grained-region threshold.
+pub fn region_partition_with(program: &Program, threshold: f64, min_volume: f64) -> RegionMap {
+    let mut b = RegionMapBuilder::new();
+    partition_items(&program.items, threshold, min_volume, &mut b);
+    b.finish()
 }
 
 #[cfg(test)]
@@ -220,11 +290,7 @@ mod tests {
     fn inner_nests_classify_and_propagate() {
         let p = figure2_like();
         let outer = p.items[0].as_loop().unwrap();
-        let nests: Vec<&Loop> = outer
-            .body
-            .iter()
-            .filter_map(|i| i.as_loop())
-            .collect();
+        let nests: Vec<&Loop> = outer.body.iter().filter_map(|i| i.as_loop()).collect();
         assert_eq!(nests.len(), 3);
         assert_eq!(analyze_loop(nests[0], 0.5), RegionClass::Uniform(Preference::Hardware));
         assert_eq!(analyze_loop(nests[1], 0.5), RegionClass::Uniform(Preference::Software));
@@ -305,5 +371,52 @@ mod tests {
     fn validated_after_marking() {
         let marked = detect_and_mark(&figure2_like(), 0.5);
         assert!(marked.validate().is_ok());
+    }
+
+    #[test]
+    fn partition_covers_every_site() {
+        let p = figure2_like();
+        let map = region_partition(&p, 0.5);
+        assert_eq!(map.num_sites(), site_count(&p.items));
+        for site in 0..map.num_sites() {
+            assert!(!map.region_of_site(site).is_none(), "site {site} uncovered");
+        }
+    }
+
+    #[test]
+    fn partition_mirrors_marker_granularity() {
+        // The marked figure-2 program: outer ctl region + three child-nest
+        // regions (hw, sw, hw), each owning its preceding marker site.
+        let marked = detect_and_mark(&figure2_like(), 0.5);
+        let map = region_partition(&marked, 0.5);
+        assert_eq!(map.num_sites(), site_count(&marked.items));
+        let labels = map.labels();
+        assert!(labels[0].ends_with(":ctl"), "outer loop is control: {labels:?}");
+        let tags: Vec<&str> = labels[1..].iter().map(|l| l.rsplit(':').next().unwrap()).collect();
+        assert_eq!(tags, vec!["hw", "sw", "hw"]);
+    }
+
+    #[test]
+    fn partition_attributes_markers_to_following_region() {
+        let marked = detect_and_mark(&figure2_like(), 0.5);
+        let map = region_partition(&marked, 0.5);
+        // Site walk: outer loop (ctl), then [marker, nest...] x3. The first
+        // marker site (index 1) belongs to the first child region, not ctl.
+        assert_eq!(map.region_of_site(0), map.region_of_site(0));
+        assert_ne!(map.region_of_site(1), map.region_of_site(0));
+        assert_eq!(map.region_of_site(1), map.region_of_site(2));
+    }
+
+    #[test]
+    fn every_traced_op_lands_in_a_region() {
+        use selcache_ir::Interp;
+        let marked = detect_and_mark(&figure2_like(), 0.5);
+        let map = region_partition(&marked, 0.5);
+        let mut per_region = vec![0u64; map.num_regions()];
+        for op in Interp::with_regions(&marked, &map) {
+            assert!(!op.region.is_none(), "op at {:#x} outside all regions", op.pc);
+            per_region[op.region.index()] += 1;
+        }
+        assert!(per_region.iter().all(|&n| n > 0), "empty region: {per_region:?}");
     }
 }

@@ -62,17 +62,8 @@ pub fn ref_cost(arrays: &[ArrayDecl], r: &Ref, v: VarId, block_bytes: u64) -> f6
 }
 
 /// Total per-iteration cost of a nest body when `v` runs innermost.
-pub fn innermost_cost(
-    arrays: &[ArrayDecl],
-    stmts: &[&Stmt],
-    v: VarId,
-    block_bytes: u64,
-) -> f64 {
-    stmts
-        .iter()
-        .flat_map(|s| s.refs.iter())
-        .map(|r| ref_cost(arrays, r, v, block_bytes))
-        .sum()
+pub fn innermost_cost(arrays: &[ArrayDecl], stmts: &[&Stmt], v: VarId, block_bytes: u64) -> f64 {
+    stmts.iter().flat_map(|s| s.refs.iter()).map(|r| ref_cost(arrays, r, v, block_bytes)).sum()
 }
 
 /// Chooses the loop ordering for a nest: loops sorted so the cheapest
@@ -96,19 +87,16 @@ pub fn preferred_permutation(
 
 /// True if some reference in the nest carries temporal reuse on a
 /// non-innermost loop — i.e. tiling could turn that reuse into locality.
-pub fn has_outer_temporal_reuse(
-    arrays: &[ArrayDecl],
-    vars: &[VarId],
-    stmts: &[&Stmt],
-) -> bool {
+pub fn has_outer_temporal_reuse(arrays: &[ArrayDecl], vars: &[VarId], stmts: &[&Stmt]) -> bool {
     if vars.len() < 2 {
         return false;
     }
     let outer = &vars[..vars.len() - 1];
     stmts.iter().flat_map(|s| s.refs.iter()).any(|r| {
-        outer
-            .iter()
-            .any(|&v| matches!(ref_stride(arrays, r, v), Some(0)) && !matches!(r.pattern, RefPattern::Scalar(_)))
+        outer.iter().any(|&v| {
+            matches!(ref_stride(arrays, r, v), Some(0))
+                && !matches!(r.pattern, RefPattern::Scalar(_))
+        })
     })
 }
 
@@ -123,12 +111,7 @@ pub fn nest_footprint(arrays: &[ArrayDecl], stmts: &[&Stmt]) -> u64 {
             }
         }
     }
-    touched
-        .iter()
-        .zip(arrays)
-        .filter(|(t, _)| **t)
-        .map(|(_, d)| d.size_bytes())
-        .sum()
+    touched.iter().zip(arrays).filter(|(t, _)| **t).map(|(_, d)| d.size_bytes()).sum()
 }
 
 #[cfg(test)]
@@ -180,7 +163,7 @@ mod tests {
         arrays[2].layout = Layout::ColMajor; // W
         let w_ref = &stmts[0].refs[2]; // W[j][i]
         assert_eq!(ref_stride(&arrays, w_ref, vars[0]), Some(64 * 8)); // i: dim 1 now strided
-        // Actually ColMajor: dim 0 is unit stride; W[j][i]: j in dim 0.
+                                                                       // Actually ColMajor: dim 0 is unit stride; W[j][i]: j in dim 0.
         assert_eq!(ref_stride(&arrays, w_ref, vars[1]), Some(8));
     }
 

@@ -132,12 +132,8 @@ pub fn scalar_replace(arrays: &[ArrayDecl], l: &Loop) -> Option<Loop> {
         .collect();
 
     let innermost = *nest.levels.last().expect("nest has a level");
-    let inner_loop = Loop {
-        id: innermost.id,
-        var: innermost.var,
-        trip: innermost.trip,
-        body: new_body,
-    };
+    let inner_loop =
+        Loop { id: innermost.id, var: innermost.var, trip: innermost.trip, body: new_body };
     let mut wrapped = vec![Item::Block(vec![pre]), Item::Loop(inner_loop)];
     if !post_refs.is_empty() {
         wrapped.push(Item::Block(vec![Stmt::new(post_refs, 0, 0)]));
@@ -186,21 +182,15 @@ mod tests {
         p2.items[0] = Item::Loop(new);
         assert!(p2.validate().is_ok());
         // Loads drop from 2/iter (U + V) to 1/iter (V) + 1 per outer iter.
-        let count_loads = |p: &Program| {
-            Interp::new(p)
-                .filter(|o| matches!(o.kind, OpKind::Load(_)))
-                .count()
-        };
+        let count_loads =
+            |p: &Program| Interp::new(p).filter(|o| matches!(o.kind, OpKind::Load(_))).count();
         let before = count_loads(&p);
         let after = count_loads(&p2);
         assert_eq!(before, 16 * 16 * 2);
         assert_eq!(after, 16 * 16 + 16);
         // Stores drop from 1/iter to 1 per outer iteration.
-        let count_stores = |p: &Program| {
-            Interp::new(p)
-                .filter(|o| matches!(o.kind, OpKind::Store(_)))
-                .count()
-        };
+        let count_stores =
+            |p: &Program| Interp::new(p).filter(|o| matches!(o.kind, OpKind::Store(_))).count();
         assert_eq!(count_stores(&p), 16 * 16);
         assert_eq!(count_stores(&p2), 16);
     }
@@ -261,9 +251,7 @@ mod tests {
         let new = scalar_replace(&p.arrays, l).expect("promotes");
         let mut p2 = p.clone();
         p2.items[0] = Item::Loop(new);
-        let stores = Interp::new(&p2)
-            .filter(|o| matches!(o.kind, OpKind::Store(_)))
-            .count();
+        let stores = Interp::new(&p2).filter(|o| matches!(o.kind, OpKind::Store(_))).count();
         // Only the V stores remain: no postheader stores for read-only S.
         assert_eq!(stores, 64 * 64);
     }
@@ -274,8 +262,7 @@ mod tests {
         let a = b.array("A", &[4], 8);
         b.loop_(64, |b, _i| {
             b.stmt(|s| {
-                s.read(a, vec![Subscript::constant(0)])
-                    .write(a, vec![Subscript::constant(0)]);
+                s.read(a, vec![Subscript::constant(0)]).write(a, vec![Subscript::constant(0)]);
             });
         });
         let p = b.finish().unwrap();

@@ -10,9 +10,7 @@
 use crate::depend::{band_fully_permutable, nest_dependences};
 use crate::nest::{NestLevel, PerfectNest};
 use crate::reuse::{has_outer_temporal_reuse, nest_footprint};
-use selcache_ir::{
-    AffineExpr, ArrayDecl, Item, Loop, LoopId, RefPattern, Stmt, Trip, VarId,
-};
+use selcache_ir::{AffineExpr, ArrayDecl, Item, Loop, LoopId, RefPattern, Stmt, Trip, VarId};
 
 /// Fresh-id allocator handed to transformations that create loops/vars.
 #[derive(Debug)]
@@ -153,7 +151,7 @@ pub fn tile_nest(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use selcache_ir::{trace_len, Interp, OpKind, ProgramBuilder, Program, Subscript};
+    use selcache_ir::{trace_len, Interp, OpKind, Program, ProgramBuilder, Subscript};
 
     /// for i in 0..N { for j in 0..N { C[i] += A[i][j]*B[j][i]... } } with a
     /// B access pattern that carries outer reuse (B row reused across i).
@@ -191,9 +189,7 @@ mod tests {
     #[test]
     fn tiling_preserves_iteration_count_and_addresses() {
         let mut p = big_nest(100);
-        let base_ops: Vec<_> = Interp::new(&p)
-            .filter_map(|o| o.kind.addr())
-            .collect();
+        let base_ops: Vec<_> = Interp::new(&p).filter_map(|o| o.kind.addr()).collect();
         let cfg = TilingConfig { tile: 16, cache_bytes: 1024, min_trip: 32 };
         let tiled = tile(&mut p, &cfg).expect("tiles");
         p.items[0] = Item::Loop(tiled);

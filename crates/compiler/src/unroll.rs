@@ -131,7 +131,7 @@ pub fn unroll_and_jam_program(program: &mut Program, threshold: f64, cfg: &Unrol
 #[cfg(test)]
 mod tests {
     use super::*;
-    use selcache_ir::{Interp, OpKind, ProgramBuilder, Program, Subscript};
+    use selcache_ir::{Interp, OpKind, Program, ProgramBuilder, Subscript};
 
     /// The classic candidate: for i { for j { C[j] += A[i][j] } } — A varies
     /// with i, C is outer-invariant per j.

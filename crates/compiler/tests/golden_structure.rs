@@ -31,10 +31,7 @@ fn section_3_2_structure_is_pinned() {
     let o = optimize(&section32(), &cfg);
     let text = pretty(&o);
     // Interchange: j is now the outer loop, i inner.
-    assert!(
-        text.contains("for v1 in 0..64 {"),
-        "expected j (v1) outermost:\n{text}"
-    );
+    assert!(text.contains("for v1 in 0..64 {"), "expected j (v1) outermost:\n{text}");
     // Scalar replacement: U[j] hoisted — a preheader load and a postheader
     // store around the inner loop.
     assert!(text.contains("ld a0[v1], int*1;"), "preheader load missing:\n{text}");
@@ -106,10 +103,7 @@ fn hardware_only_program_gets_one_leading_on() {
     let p = b.finish().unwrap();
     let s = selective(&p, &OptConfig::default());
     assert_eq!(s.marker_count(), 1);
-    assert!(matches!(
-        s.items.first(),
-        Some(selcache_ir::Item::Marker(selcache_ir::Marker::On))
-    ));
+    assert!(matches!(s.items.first(), Some(selcache_ir::Item::Marker(selcache_ir::Marker::On))));
 }
 
 #[test]

@@ -26,10 +26,10 @@ fn kitchen_sink() -> Program {
     // Regular nest: scalars + affine refs.
     b.nest2(512, 16, |b, i, j| {
         b.stmt(|s| {
-            s.read(a, vec![Subscript::var(i), Subscript::var(j)]).read_scalar(sc).fp(1).write(
-                a,
-                vec![Subscript::var(i), Subscript::var(j)],
-            );
+            s.read(a, vec![Subscript::var(i), Subscript::var(j)])
+                .read_scalar(sc)
+                .fp(1)
+                .write(a, vec![Subscript::var(i), Subscript::var(j)]);
         });
     });
     // Irregular nest: every non-analyzable shape.

@@ -38,8 +38,8 @@
 //! ```
 
 use crate::config::MachineConfig;
-use crate::runner::{default_opt, simulate, SimResult, Version};
-use selcache_compiler::{optimize, selective, OptConfig};
+use crate::runner::{default_opt, simulate, simulate_profiled, SimResult, Version};
+use selcache_compiler::{optimize, region_partition, selective, OptConfig};
 use selcache_ir::Program;
 use selcache_mem::AssistKind;
 use selcache_workloads::{Benchmark, Scale};
@@ -242,8 +242,20 @@ impl JobEngine {
         self.run_with_stats(jobs).0
     }
 
+    /// Runs a job set with region profiling: every result carries a
+    /// populated `regions` profile, attributed with the partition derived
+    /// from each job's compiler configuration (raw programs use the default
+    /// threshold). Dedup and ordering behave exactly like [`JobEngine::run`].
+    pub fn run_profiled(&self, jobs: &[SimJob]) -> Vec<SimResult> {
+        self.execute(jobs, true).0
+    }
+
     /// Runs a job set and reports dedup/executions counters.
     pub fn run_with_stats(&self, jobs: &[SimJob]) -> (Vec<SimResult>, EngineStats) {
+        self.execute(jobs, false)
+    }
+
+    fn execute(&self, jobs: &[SimJob], profiled: bool) -> (Vec<SimResult>, EngineStats) {
         // Normalize and deduplicate. Job sets are small (hundreds at most:
         // benchmarks x versions x machines), so linear-scan identity maps
         // beat hashing the f64-bearing config structs.
@@ -264,23 +276,37 @@ impl JobEngine {
         let mut prog_keys: Vec<ProgramKey> = Vec::new();
         let prog_of: Vec<usize> = unique
             .iter()
-            .map(|key| {
-                match prog_keys.iter().position(|p| *p == key.program) {
-                    Some(k) => k,
-                    None => {
-                        prog_keys.push(key.program.clone());
-                        prog_keys.len() - 1
-                    }
+            .map(|key| match prog_keys.iter().position(|p| *p == key.program) {
+                Some(k) => k,
+                None => {
+                    prog_keys.push(key.program.clone());
+                    prog_keys.len() - 1
                 }
             })
             .collect();
         let programs = self.par_map(&prog_keys, ProgramKey::build);
 
         // Execute each unique job once, in parallel.
-        let work: Vec<(usize, &ExecKey)> =
-            prog_of.iter().copied().zip(unique.iter()).collect();
+        let work: Vec<(usize, &ExecKey)> = prog_of.iter().copied().zip(unique.iter()).collect();
         let results = self.par_map(&work, |&(prog, key)| {
-            simulate(&key.machine, key.assist, key.assist_enabled, &programs[prog])
+            if profiled {
+                let threshold = key
+                    .program
+                    .opt
+                    .as_ref()
+                    .map(|o| o.threshold)
+                    .unwrap_or_else(|| OptConfig::default().threshold);
+                let map = region_partition(&programs[prog], threshold);
+                simulate_profiled(
+                    &key.machine,
+                    key.assist,
+                    key.assist_enabled,
+                    &programs[prog],
+                    &map,
+                )
+            } else {
+                simulate(&key.machine, key.assist, key.assist_enabled, &programs[prog])
+            }
         });
 
         let stats = EngineStats {
@@ -290,7 +316,7 @@ impl JobEngine {
             programs_prepared: prog_keys.len(),
             threads: self.threads,
         };
-        (slot.into_iter().map(|k| results[k]).collect(), stats)
+        (slot.into_iter().map(|k| results[k].clone()).collect(), stats)
     }
 
     /// Applies `f` to every item, fanning out across the pool. Output order
@@ -410,6 +436,21 @@ mod tests {
         let serial = JobEngine::serial().run(&jobs);
         let parallel = JobEngine::new(4).run(&jobs);
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn profiled_runs_match_plain_aggregates() {
+        let jobs = suite_jobs(AssistKind::Bypass);
+        let plain = JobEngine::new(2).run(&jobs);
+        let profiled = JobEngine::new(2).run_profiled(&jobs);
+        for (p, q) in plain.iter().zip(&profiled) {
+            assert_eq!(p.cycles, q.cycles, "profiling must not perturb results");
+            assert_eq!(p.cpu, q.cpu);
+            assert_eq!(p.mem, q.mem);
+            let total = q.regions.as_ref().expect("profiled run").total();
+            assert_eq!(total.cycles, q.cycles);
+            assert_eq!(total.committed, q.instructions);
+        }
     }
 
     #[test]

@@ -44,15 +44,17 @@
 
 mod config;
 mod engine;
+mod profile;
 mod report;
 mod runner;
 mod sweep;
 
 pub use config::{ConfigVariant, MachineConfig};
 pub use engine::{EngineStats, JobEngine, SimJob};
+pub use profile::{RegionProfile, RegionProfileProbe, RegionStats};
 pub use report::{
-    format_table3, table2, table2_with, table3_row, table3_rows, BenchmarkRow, SuiteResult,
-    Table3Row,
+    format_region_report, format_table3, table2, table2_with, table3_row, table3_rows,
+    BenchmarkRow, SuiteResult, Table3Row,
 };
 pub use runner::{Experiment, ExperimentBuilder, SimResult, Version};
 pub use sweep::{l1_assoc_sweep, memory_latency_sweep, Sweep, SweepPoint};

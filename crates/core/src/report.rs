@@ -30,10 +30,7 @@ pub struct BenchmarkRow {
 impl BenchmarkRow {
     /// Improvement of one reported version.
     pub fn improvement(&self, version: Version) -> f64 {
-        let idx = Version::REPORTED
-            .iter()
-            .position(|&v| v == version)
-            .expect("reported version");
+        let idx = Version::REPORTED.iter().position(|&v| v == version).expect("reported version");
         self.improvements[idx]
     }
 }
@@ -95,7 +92,7 @@ impl SuiteResult {
             .iter()
             .zip(results.chunks_exact(JOBS_PER_BENCHMARK))
             .map(|(&benchmark, chunk)| {
-                let base = chunk[0];
+                let base = chunk[0].clone();
                 let mut improvements = [0.0; 4];
                 for (imp, r) in improvements.iter_mut().zip(&chunk[1..]) {
                     *imp = r.improvement_over(&base);
@@ -210,9 +207,8 @@ impl SuiteResult {
     /// Renders the suite as CSV (benchmark, category, base cycles, and the
     /// four improvements) for external plotting.
     pub fn to_csv(&self) -> String {
-        let mut out = String::from(
-            "benchmark,category,base_cycles,pure_hw,pure_sw,combined,selective\n",
-        );
+        let mut out =
+            String::from("benchmark,category,base_cycles,pure_hw,pure_sw,combined,selective\n");
         for r in &self.rows {
             let _ = writeln!(
                 out,
@@ -367,6 +363,22 @@ pub fn table3_row(machine: MachineConfig, scale: Scale, benchmarks: &[Benchmark]
         .expect("one machine in, one row out")
 }
 
+/// Formats a profiled run as a per-region report: one line per uniform
+/// region (cycles, instructions, cache traffic, assist coverage) plus the
+/// *(outside)* bucket and a TOTAL row that equals the aggregate counters.
+///
+/// Returns a one-line note instead when the result carries no profile
+/// (i.e. it came from an unprofiled run).
+pub fn format_region_report(title: &str, result: &SimResult) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Per-region profile: {title}");
+    match &result.regions {
+        Some(profile) => out.push_str(&profile.format_table()),
+        None => out.push_str("(run was not profiled — use run_profiled)\n"),
+    }
+    out
+}
+
 /// Formats Table 3 from precomputed rows.
 pub fn format_table3(rows: &[Table3Row]) -> String {
     let mut out = String::new();
@@ -374,7 +386,14 @@ pub fn format_table3(rows: &[Table3Row]) -> String {
     let _ = writeln!(
         out,
         "{:<17} {:>8} {:>8} {:>9} {:>10} {:>8} {:>9} {:>10}",
-        "Experiment", "PureSW", "Bypass", "Comb(byp)", "Sel(byp)", "Victim", "Comb(vic)", "Sel(vic)"
+        "Experiment",
+        "PureSW",
+        "Bypass",
+        "Comb(byp)",
+        "Sel(byp)",
+        "Victim",
+        "Comb(vic)",
+        "Sel(vic)"
     );
     for r in rows {
         let _ = writeln!(
@@ -457,6 +476,18 @@ mod tests {
     }
 
     #[test]
+    fn region_report_formats_profile() {
+        use crate::runner::Experiment;
+        let e = Experiment::new(MachineConfig::base(), AssistKind::Bypass);
+        let r = e.run_profiled(Benchmark::Adi, Scale::Tiny, Version::Selective);
+        let text = format_region_report("adi/selective", &r);
+        assert!(text.contains("TOTAL"), "report: {text}");
+        assert!(text.contains("(outside)"));
+        let plain = e.run(Benchmark::Adi, Scale::Tiny, Version::Base);
+        assert!(format_region_report("adi/base", &plain).contains("not profiled"));
+    }
+
+    #[test]
     fn table3_row_has_all_columns() {
         let r = table3_row(MachineConfig::base(), Scale::Tiny, &[Benchmark::Adi, Benchmark::Perl]);
         let text = format_table3(&[r]);
@@ -468,8 +499,7 @@ mod tests {
     fn batched_table3_matches_per_row_runs() {
         let benchmarks = [Benchmark::Adi, Benchmark::Li];
         let machines = [MachineConfig::base(), MachineConfig::higher_mem_latency()];
-        let batched =
-            table3_rows(&JobEngine::serial(), &machines, Scale::Tiny, &benchmarks);
+        let batched = table3_rows(&JobEngine::serial(), &machines, Scale::Tiny, &benchmarks);
         assert_eq!(batched.len(), 2);
         for (machine, row) in machines.iter().zip(&batched) {
             let single = table3_row(machine.clone(), Scale::Tiny, &benchmarks);

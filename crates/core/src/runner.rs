@@ -4,9 +4,10 @@
 
 use crate::config::MachineConfig;
 use crate::engine::JobEngine;
-use selcache_compiler::{optimize, selective, OptConfig};
+use crate::profile::{RegionProfile, RegionProfileProbe};
+use selcache_compiler::{optimize, region_partition, selective, OptConfig};
 use selcache_cpu::{CpuStats, Pipeline};
-use selcache_ir::{Interp, Program};
+use selcache_ir::{Interp, Program, RegionMap};
 use selcache_mem::{AssistKind, HierarchyStats, MemoryHierarchy};
 use selcache_workloads::{Benchmark, Scale};
 use std::fmt;
@@ -31,12 +32,8 @@ pub enum Version {
 impl Version {
     /// The four versions the paper's figures report (everything but
     /// [`Version::Base`]).
-    pub const REPORTED: [Version; 4] = [
-        Version::PureHardware,
-        Version::PureSoftware,
-        Version::Combined,
-        Version::Selective,
-    ];
+    pub const REPORTED: [Version; 4] =
+        [Version::PureHardware, Version::PureSoftware, Version::Combined, Version::Selective];
 }
 
 impl fmt::Display for Version {
@@ -53,7 +50,7 @@ impl fmt::Display for Version {
 }
 
 /// Outcome of one simulation run.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimResult {
     /// Total execution cycles.
     pub cycles: u64,
@@ -63,15 +60,19 @@ pub struct SimResult {
     pub cpu: CpuStats,
     /// Memory-hierarchy statistics.
     pub mem: HierarchyStats,
+    /// Per-region attribution, present when the run was profiled
+    /// ([`Experiment::run_profiled`], [`JobEngine::run_profiled`]).
+    pub regions: Option<RegionProfile>,
 }
 
 impl SimResult {
-    /// L1 data-cache miss rate in percent.
+    /// L1 data-cache miss rate in percent (0 when no access was made, so
+    /// an empty run never reports NaN).
     pub fn l1_miss_pct(&self) -> f64 {
         self.mem.l1d.miss_rate() * 100.0
     }
 
-    /// L2 miss rate in percent.
+    /// L2 miss rate in percent (0 when no access was made).
     pub fn l2_miss_pct(&self) -> f64 {
         self.mem.l2.miss_rate() * 100.0
     }
@@ -89,10 +90,7 @@ impl SimResult {
 /// The compiler configuration an experiment derives from its machine: the
 /// locality passes target the L1 data cache's block size and capacity.
 pub(crate) fn default_opt(machine: &MachineConfig) -> OptConfig {
-    let mut opt = OptConfig {
-        block_bytes: machine.mem.l1d.block_size,
-        ..OptConfig::default()
-    };
+    let mut opt = OptConfig { block_bytes: machine.mem.l1d.block_size, ..OptConfig::default() };
     opt.tiling.cache_bytes = machine.mem.l1d.size;
     opt
 }
@@ -116,6 +114,35 @@ pub(crate) fn simulate(
         instructions: stats.committed,
         cpu: stats,
         mem: mem.stats(),
+        regions: None,
+    }
+}
+
+/// [`simulate`] with a [`RegionProfileProbe`] attached: identical aggregate
+/// counters, plus per-region attribution over `regions`.
+pub(crate) fn simulate_profiled(
+    machine: &MachineConfig,
+    assist: AssistKind,
+    assist_enabled: bool,
+    program: &Program,
+    regions: &RegionMap,
+) -> SimResult {
+    let mut hier_cfg = machine.mem.clone();
+    hier_cfg.assist = assist;
+    let mut mem = MemoryHierarchy::new(hier_cfg);
+    mem.set_assist_enabled(assist_enabled);
+    let mut probe = RegionProfileProbe::new(regions);
+    let stats = Pipeline::new(machine.cpu).run_probed(
+        Interp::with_regions(program, regions),
+        &mut mem,
+        &mut probe,
+    );
+    SimResult {
+        cycles: stats.cycles,
+        instructions: stats.committed,
+        cpu: stats,
+        mem: mem.stats(),
+        regions: Some(probe.finish()),
     }
 }
 
@@ -272,6 +299,23 @@ impl Experiment {
         let prepared = self.prepare(&base, version);
         self.run_program(&prepared, version)
     }
+
+    /// [`Experiment::run`] with region profiling: partitions the prepared
+    /// program with the experiment's threshold and attributes every cycle,
+    /// commit, cache access, and assist event to its region. The result's
+    /// `regions` field is populated; aggregate counters are unchanged.
+    pub fn run_profiled(&self, benchmark: Benchmark, scale: Scale, version: Version) -> SimResult {
+        let base = benchmark.build(scale);
+        let prepared = self.prepare(&base, version);
+        let map = region_partition(&prepared, self.opt.threshold);
+        simulate_profiled(
+            &self.machine,
+            version.effective_assist(self.assist),
+            version.initially_enabled(),
+            &prepared,
+            &map,
+        )
+    }
 }
 
 #[cfg(test)]
@@ -340,14 +384,26 @@ mod tests {
 
         let machine = MachineConfig::base();
         let derived = default_opt(&machine);
-        let e = ExperimentBuilder::new()
-            .machine(machine)
-            .assist(AssistKind::Stream)
-            .threads(1)
-            .build();
+        let e =
+            ExperimentBuilder::new().machine(machine).assist(AssistKind::Stream).threads(1).build();
         assert_eq!(*e.opt(), derived);
         assert_eq!(e.assist(), AssistKind::Stream);
         assert_eq!(e.engine().threads(), 1);
+    }
+
+    #[test]
+    fn profiled_run_matches_unprofiled_aggregates() {
+        let e = exp(AssistKind::Bypass);
+        let plain = e.run(Benchmark::Li, Scale::Tiny, Version::Selective);
+        let prof = e.run_profiled(Benchmark::Li, Scale::Tiny, Version::Selective);
+        assert_eq!(plain.cycles, prof.cycles, "the probe must not perturb the run");
+        assert_eq!(plain.cpu, prof.cpu);
+        assert_eq!(plain.mem, prof.mem);
+        let total = prof.regions.as_ref().expect("profiled").total();
+        assert_eq!(total.cycles, prof.cycles);
+        assert_eq!(total.committed, prof.instructions);
+        assert_eq!(total.l1d_accesses, prof.mem.l1d.accesses);
+        assert_eq!(total.l1d_misses, prof.mem.l1d.misses);
     }
 
     #[test]

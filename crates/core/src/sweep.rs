@@ -78,7 +78,15 @@ impl Sweep {
         values: &[u64],
         configure: impl FnMut(u64) -> MachineConfig,
     ) -> Sweep {
-        Self::run_with(&JobEngine::default(), parameter, benchmark, scale, assist, values, configure)
+        Self::run_with(
+            &JobEngine::default(),
+            parameter,
+            benchmark,
+            scale,
+            assist,
+            values,
+            configure,
+        )
     }
 
     /// The selective-version series.
@@ -93,11 +101,7 @@ impl Sweep {
             let _ = writeln!(
                 out,
                 "{},{:.4},{:.4},{:.4},{:.4}",
-                p.value,
-                p.improvements[0],
-                p.improvements[1],
-                p.improvements[2],
-                p.improvements[3]
+                p.value, p.improvements[0], p.improvements[1], p.improvements[2], p.improvements[3]
             );
         }
         out
@@ -139,12 +143,8 @@ mod tests {
 
     #[test]
     fn latency_sweep_produces_points() {
-        let s = memory_latency_sweep(
-            Benchmark::TpcDQ6,
-            Scale::Tiny,
-            AssistKind::Bypass,
-            &[100, 200],
-        );
+        let s =
+            memory_latency_sweep(Benchmark::TpcDQ6, Scale::Tiny, AssistKind::Bypass, &[100, 200]);
         assert_eq!(s.points.len(), 2);
         assert_eq!(s.points[0].value, 100);
         assert_eq!(s.selective_series().len(), 2);

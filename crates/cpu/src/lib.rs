@@ -38,4 +38,4 @@ mod stats;
 pub use config::{CpuConfig, CpuModel, PredictorKind};
 pub use pipeline::Pipeline;
 pub use predictor::{Bimodal, Gshare, Predictor};
-pub use stats::CpuStats;
+pub use stats::{CpuStats, CpuStatsProbe};

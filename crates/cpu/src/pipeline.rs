@@ -15,9 +15,9 @@
 
 use crate::config::{CpuConfig, CpuModel, PredictorKind};
 use crate::predictor::{Bimodal, Gshare, Predictor};
-use crate::stats::CpuStats;
-use selcache_ir::{OpKind, TraceOp};
-use selcache_mem::MemoryHierarchy;
+use crate::stats::{CpuStats, CpuStatsProbe};
+use selcache_ir::{OpKind, RegionId, TraceOp};
+use selcache_mem::{MemoryHierarchy, NullProbe, Probe, Site};
 use std::collections::VecDeque;
 
 /// Completion-time ring size; dependence distances are clamped below this.
@@ -26,11 +26,19 @@ const RING: usize = 1024;
 #[derive(Debug, Clone, Copy)]
 struct Slot {
     seq: u64,
+    pc: u64,
+    region: RegionId,
     kind: OpKind,
     dep_seq: Option<u64>,
     issued: bool,
     ready_at: u64,
     is_mem: bool,
+}
+
+impl Slot {
+    fn site(&self) -> Site {
+        Site::new(self.pc, self.region)
+    }
 }
 
 /// An out-of-order (or in-order, per [`CpuModel`]) processor pipeline.
@@ -50,7 +58,7 @@ struct Slot {
 pub struct Pipeline {
     cfg: CpuConfig,
     predictor: Predictor,
-    stats: CpuStats,
+    stats: CpuStatsProbe,
     ruu: VecDeque<Slot>,
     lsq_used: u32,
     completion: Vec<u64>,
@@ -61,6 +69,9 @@ pub struct Pipeline {
     last_fetch_block: u64,
     staged: Option<TraceOp>,
     done_fetching: bool,
+    /// Region the pipeline is currently attributed to: the region of the
+    /// oldest in-flight instruction, held over empty-RUU cycles.
+    cur_region: RegionId,
 }
 
 impl Pipeline {
@@ -72,7 +83,7 @@ impl Pipeline {
         };
         Pipeline {
             predictor,
-            stats: CpuStats::default(),
+            stats: CpuStatsProbe::default(),
             ruu: VecDeque::with_capacity(cfg.ruu_entries as usize),
             lsq_used: 0,
             completion: vec![u64::MAX; RING],
@@ -83,6 +94,7 @@ impl Pipeline {
             last_fetch_block: u64::MAX,
             staged: None,
             done_fetching: false,
+            cur_region: RegionId::NONE,
             cfg,
         }
     }
@@ -96,29 +108,53 @@ impl Pipeline {
         trace: impl IntoIterator<Item = TraceOp>,
         mem: &mut MemoryHierarchy,
     ) -> CpuStats {
+        self.run_probed(trace, mem, &mut NullProbe)
+    }
+
+    /// [`Pipeline::run`] with event instrumentation: `probe` observes every
+    /// cycle, commit, stall, misprediction, assist toggle and memory-system
+    /// event, each attributed to the PC and region of the instruction that
+    /// caused it. The built-in [`CpuStats`] accounting runs alongside
+    /// unconditionally; with [`NullProbe`] this monomorphizes to the plain
+    /// [`Pipeline::run`] path.
+    pub fn run_probed<P: Probe>(
+        &mut self,
+        trace: impl IntoIterator<Item = TraceOp>,
+        mem: &mut MemoryHierarchy,
+        probe: &mut P,
+    ) -> CpuStats {
         let mut trace = trace.into_iter();
         self.done_fetching = false;
+        // Move the default probe out of `self` so both it and the caller's
+        // probe can fan out through one tuple while `self` stays mutable.
+        let mut default_probe = std::mem::take(&mut self.stats);
+        let mut fan = (&mut default_probe, probe);
         while !(self.done_fetching && self.ruu.is_empty() && self.staged.is_none()) {
-            self.commit();
-            self.issue(mem);
-            self.fetch(&mut trace, mem);
+            if let Some(front) = self.ruu.front() {
+                self.cur_region = front.region;
+            }
+            fan.cycle(self.cur_region);
+            self.commit(&mut fan);
+            self.issue(mem, &mut fan);
+            self.fetch(&mut trace, mem, &mut fan);
             self.cycle += 1;
         }
-        self.stats.cycles = self.cycle;
-        self.stats
+        default_probe.stats.cycles = self.cycle;
+        self.stats = default_probe;
+        self.stats.stats()
     }
 
     /// Statistics so far.
     pub fn stats(&self) -> &CpuStats {
-        &self.stats
+        &self.stats.stats
     }
 
-    /// Branch-predictor accuracy so far.
+    /// Branch-predictor accuracy so far (0.0 before any branch executes).
     pub fn predictor_accuracy(&self) -> f64 {
         self.predictor.accuracy()
     }
 
-    fn commit(&mut self) {
+    fn commit<P: Probe>(&mut self, probe: &mut P) {
         let mut n = 0;
         while n < self.cfg.commit_width {
             let Some(front) = self.ruu.front() else {
@@ -131,20 +167,12 @@ impl Pipeline {
             if slot.is_mem {
                 self.lsq_used -= 1;
             }
-            self.stats.committed += 1;
-            match slot.kind {
-                OpKind::IntAlu => self.stats.int_ops += 1,
-                OpKind::FpAlu => self.stats.fp_ops += 1,
-                OpKind::Load(_) => self.stats.loads += 1,
-                OpKind::Store(_) => self.stats.stores += 1,
-                OpKind::Branch { .. } => self.stats.branches += 1,
-                OpKind::AssistOn | OpKind::AssistOff => self.stats.assist_toggles += 1,
-            }
+            probe.commit(slot.site(), slot.kind);
             n += 1;
         }
     }
 
-    fn issue(&mut self, mem: &mut MemoryHierarchy) {
+    fn issue<P: Probe>(&mut self, mem: &mut MemoryHierarchy, probe: &mut P) {
         let in_order = self.cfg.model == CpuModel::InOrder;
         let mut issued = 0;
         let mut mem_issued = 0;
@@ -184,8 +212,12 @@ impl Pipeline {
                 OpKind::IntAlu | OpKind::AssistOn | OpKind::AssistOff => self.cfg.int_latency,
                 OpKind::Branch { .. } => self.cfg.int_latency,
                 OpKind::FpAlu => self.cfg.fp_latency,
-                OpKind::Load(a) => mem.data_access(a, false, cycle),
-                OpKind::Store(a) => mem.data_access(a, true, cycle),
+                OpKind::Load(a) => {
+                    mem.data_access_probed(a, false, cycle, Site::new(slot.pc, slot.region), probe)
+                }
+                OpKind::Store(a) => {
+                    mem.data_access_probed(a, true, cycle, Site::new(slot.pc, slot.region), probe)
+                }
             };
             slot.issued = true;
             slot.ready_at = cycle + latency;
@@ -205,16 +237,21 @@ impl Pipeline {
             self.fetch_resume = self.fetch_resume.max(resume);
         }
         if issued == 0 && !self.ruu.is_empty() {
-            self.stats.issue_stall_cycles += 1;
+            probe.issue_stall();
         }
     }
 
-    fn fetch(&mut self, trace: &mut impl Iterator<Item = TraceOp>, mem: &mut MemoryHierarchy) {
+    fn fetch<P: Probe>(
+        &mut self,
+        trace: &mut impl Iterator<Item = TraceOp>,
+        mem: &mut MemoryHierarchy,
+        probe: &mut P,
+    ) {
         if self.done_fetching && self.staged.is_none() {
             return;
         }
         if self.blocked_on.is_some() || self.cycle < self.fetch_resume {
-            self.stats.fetch_stall_cycles += 1;
+            probe.fetch_stall();
             return;
         }
         let mut fetched = 0;
@@ -238,7 +275,8 @@ impl Pipeline {
             let fb = op.pc / self.cfg.fetch_block;
             if fb != self.last_fetch_block {
                 self.last_fetch_block = fb;
-                let lat = mem.inst_fetch(op.pc, self.cycle);
+                let lat =
+                    mem.inst_fetch_probed(op.pc, self.cycle, Site::new(op.pc, op.region), probe);
                 if lat > 0 {
                     self.fetch_resume = self.cycle + lat;
                 }
@@ -247,12 +285,18 @@ impl Pipeline {
                 OpKind::Branch { taken } => {
                     let correct = self.predictor.update(op.pc, taken);
                     if !correct {
-                        self.stats.mispredicts += 1;
+                        probe.mispredict(Site::new(op.pc, op.region));
                         self.blocked_on = Some(self.seq);
                     }
                 }
-                OpKind::AssistOn => mem.set_assist_enabled(true),
-                OpKind::AssistOff => mem.set_assist_enabled(false),
+                OpKind::AssistOn => {
+                    mem.set_assist_enabled(true);
+                    probe.assist_toggle(Site::new(op.pc, op.region), true);
+                }
+                OpKind::AssistOff => {
+                    mem.set_assist_enabled(false);
+                    probe.assist_toggle(Site::new(op.pc, op.region), false);
+                }
                 _ => {}
             }
             let dep_seq = if op.dep == 0 || (op.dep as u64) > self.seq || op.dep as usize >= RING {
@@ -263,6 +307,8 @@ impl Pipeline {
             self.completion[(self.seq % RING as u64) as usize] = u64::MAX;
             self.ruu.push_back(Slot {
                 seq: self.seq,
+                pc: op.pc,
+                region: op.region,
                 kind: op.kind,
                 dep_seq,
                 issued: false,
@@ -330,12 +376,10 @@ mod tests {
 
     #[test]
     fn fp_latency_slows_dependent_chain() {
-        let int_ops: Vec<_> = (0..200)
-            .map(|_| TraceOp::with_dep(0x40_0000, OpKind::IntAlu, 1))
-            .collect();
-        let fp_ops: Vec<_> = (0..200)
-            .map(|_| TraceOp::with_dep(0x40_0000, OpKind::FpAlu, 1))
-            .collect();
+        let int_ops: Vec<_> =
+            (0..200).map(|_| TraceOp::with_dep(0x40_0000, OpKind::IntAlu, 1)).collect();
+        let fp_ops: Vec<_> =
+            (0..200).map(|_| TraceOp::with_dep(0x40_0000, OpKind::FpAlu, 1)).collect();
         let si = run(int_ops);
         let sf = run(fp_ops);
         assert!(sf.cycles > si.cycles * 2, "fp {} int {}", sf.cycles, si.cycles);
@@ -349,17 +393,16 @@ mod tests {
             .collect();
         let dep: Vec<_> = (0..8u64)
             .map(|i| {
-                TraceOp::with_dep(0x40_0000, OpKind::Load(Addr(0x2000_0000 + i * 4096)), u16::from(i > 0))
+                TraceOp::with_dep(
+                    0x40_0000,
+                    OpKind::Load(Addr(0x2000_0000 + i * 4096)),
+                    u16::from(i > 0),
+                )
             })
             .collect();
         let si = run(indep);
         let sd = run(dep);
-        assert!(
-            sd.cycles > si.cycles * 2,
-            "dependent {} independent {}",
-            sd.cycles,
-            si.cycles
-        );
+        assert!(sd.cycles > si.cycles * 2, "dependent {} independent {}", sd.cycles, si.cycles);
     }
 
     #[test]
@@ -368,9 +411,8 @@ mod tests {
         let flaky: Vec<_> = (0..200)
             .map(|i| TraceOp::new(0x40_0000, OpKind::Branch { taken: i % 2 == 0 }))
             .collect();
-        let steady: Vec<_> = (0..200)
-            .map(|_| TraceOp::new(0x40_0000, OpKind::Branch { taken: true }))
-            .collect();
+        let steady: Vec<_> =
+            (0..200).map(|_| TraceOp::new(0x40_0000, OpKind::Branch { taken: true })).collect();
         let sf = run(flaky);
         let ss = run(steady);
         assert!(sf.mispredicts > 50);
@@ -436,9 +478,6 @@ mod tests {
         ];
         let s = run(ops);
         assert_eq!(s.committed, 5);
-        assert_eq!(
-            (s.int_ops, s.fp_ops, s.loads, s.stores, s.branches),
-            (1, 1, 1, 1, 1)
-        );
+        assert_eq!((s.int_ops, s.fp_ops, s.loads, s.stores, s.branches), (1, 1, 1, 1, 1));
     }
 }

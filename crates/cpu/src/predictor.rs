@@ -56,10 +56,11 @@ impl Bimodal {
         predicted == taken
     }
 
-    /// Fraction of correct predictions so far (1.0 before any update).
+    /// Fraction of correct predictions so far (0.0 before any update, so an
+    /// empty run never reports a NaN-adjacent vacuous 100%).
     pub fn accuracy(&self) -> f64 {
         if self.lookups == 0 {
-            1.0
+            0.0
         } else {
             self.correct as f64 / self.lookups as f64
         }
@@ -122,8 +123,8 @@ impl Gshare {
         } else {
             self.counters[i] = self.counters[i].saturating_sub(1);
         }
-        self.history = ((self.history << 1) | u64::from(taken))
-            & ((1u64 << self.history_bits.min(63)) - 1);
+        self.history =
+            ((self.history << 1) | u64::from(taken)) & ((1u64 << self.history_bits.min(63)) - 1);
         self.lookups += 1;
         if predicted == taken {
             self.correct += 1;
@@ -131,10 +132,11 @@ impl Gshare {
         predicted == taken
     }
 
-    /// Fraction of correct predictions so far (1.0 before any update).
+    /// Fraction of correct predictions so far (0.0 before any update, so an
+    /// empty run never reports a NaN-adjacent vacuous 100%).
     pub fn accuracy(&self) -> f64 {
         if self.lookups == 0 {
-            1.0
+            0.0
         } else {
             self.correct as f64 / self.lookups as f64
         }

@@ -1,5 +1,7 @@
 //! Processor statistics.
 
+use selcache_ir::OpKind;
+use selcache_mem::{Probe, Site};
 use std::fmt;
 
 /// Counters accumulated by a pipeline run.
@@ -50,6 +52,50 @@ impl CpuStats {
     }
 }
 
+/// The default pipeline probe: accumulates [`CpuStats`] from commit, stall
+/// and misprediction events.
+///
+/// [`crate::Pipeline`] owns one of these permanently (so statistics carry
+/// over across reused runs, as before the probe refactor) and stacks any
+/// caller-supplied probe next to it via the tuple fan-out.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CpuStatsProbe {
+    pub(crate) stats: CpuStats,
+}
+
+impl CpuStatsProbe {
+    /// The accumulated statistics.
+    pub fn stats(&self) -> CpuStats {
+        self.stats
+    }
+}
+
+impl Probe for CpuStatsProbe {
+    fn commit(&mut self, _site: Site, kind: OpKind) {
+        self.stats.committed += 1;
+        match kind {
+            OpKind::IntAlu => self.stats.int_ops += 1,
+            OpKind::FpAlu => self.stats.fp_ops += 1,
+            OpKind::Load(_) => self.stats.loads += 1,
+            OpKind::Store(_) => self.stats.stores += 1,
+            OpKind::Branch { .. } => self.stats.branches += 1,
+            OpKind::AssistOn | OpKind::AssistOff => self.stats.assist_toggles += 1,
+        }
+    }
+
+    fn mispredict(&mut self, _site: Site) {
+        self.stats.mispredicts += 1;
+    }
+
+    fn fetch_stall(&mut self) {
+        self.stats.fetch_stall_cycles += 1;
+    }
+
+    fn issue_stall(&mut self) {
+        self.stats.issue_stall_cycles += 1;
+    }
+}
+
 impl fmt::Display for CpuStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -73,7 +119,13 @@ mod tests {
 
     #[test]
     fn ipc_and_rates() {
-        let s = CpuStats { cycles: 100, committed: 250, branches: 10, mispredicts: 1, ..Default::default() };
+        let s = CpuStats {
+            cycles: 100,
+            committed: 250,
+            branches: 10,
+            mispredicts: 1,
+            ..Default::default()
+        };
         assert!((s.ipc() - 2.5).abs() < 1e-12);
         assert!((s.mispredict_rate() - 0.1).abs() < 1e-12);
     }
@@ -89,5 +141,20 @@ mod tests {
     fn display_summarizes() {
         let s = CpuStats { cycles: 10, committed: 20, ..Default::default() };
         assert!(s.to_string().contains("ipc=2.000"));
+    }
+
+    #[test]
+    fn stats_probe_counts_by_kind() {
+        use selcache_ir::Addr;
+        let mut p = CpuStatsProbe::default();
+        p.commit(Site::UNKNOWN, OpKind::IntAlu);
+        p.commit(Site::UNKNOWN, OpKind::Load(Addr(0)));
+        p.commit(Site::UNKNOWN, OpKind::AssistOn);
+        p.mispredict(Site::UNKNOWN);
+        p.fetch_stall();
+        p.issue_stall();
+        let s = p.stats();
+        assert_eq!((s.committed, s.int_ops, s.loads, s.assist_toggles), (3, 1, 1, 1));
+        assert_eq!((s.mispredicts, s.fetch_stall_cycles, s.issue_stall_cycles), (1, 1, 1));
     }
 }

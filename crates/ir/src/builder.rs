@@ -65,7 +65,12 @@ impl ProgramBuilder {
 
     /// Declares a one-dimensional array carrying backing data (an index table
     /// or pointer next-table).
-    pub fn data_array(&mut self, name: impl Into<String>, data: Vec<i64>, elem_size: u64) -> ArrayId {
+    pub fn data_array(
+        &mut self,
+        name: impl Into<String>,
+        data: Vec<i64>,
+        elem_size: u64,
+    ) -> ArrayId {
         self.arrays.push(ArrayDecl {
             name: name.into(),
             dims: vec![data.len().max(1) as i64],
@@ -109,7 +114,13 @@ impl ProgramBuilder {
     }
 
     /// Three-deep perfect nest convenience.
-    pub fn nest3(&mut self, n: i64, m: i64, k: i64, f: impl FnOnce(&mut Self, VarId, VarId, VarId)) {
+    pub fn nest3(
+        &mut self,
+        n: i64,
+        m: i64,
+        k: i64,
+        f: impl FnOnce(&mut Self, VarId, VarId, VarId),
+    ) {
         self.loop_(n, |b, i| b.loop_(m, |b, j| b.loop_(k, |b, l| f(b, i, j, l))));
     }
 
@@ -201,7 +212,13 @@ impl StmtBuilder {
     }
 
     /// Adds an indexed (gather) load: `target[index_array[pos] + offset]`.
-    pub fn gather(&mut self, target: ArrayId, index_array: ArrayId, pos: AffineExpr, offset: i64) -> &mut Self {
+    pub fn gather(
+        &mut self,
+        target: ArrayId,
+        index_array: ArrayId,
+        pos: AffineExpr,
+        offset: i64,
+    ) -> &mut Self {
         self.refs.push(Ref::load(RefPattern::Array {
             array: target,
             subscripts: vec![Subscript::Indexed { index_array, index: pos, offset }],
@@ -210,7 +227,13 @@ impl StmtBuilder {
     }
 
     /// Adds an indexed (scatter) store: `target[index_array[pos] + offset]`.
-    pub fn scatter(&mut self, target: ArrayId, index_array: ArrayId, pos: AffineExpr, offset: i64) -> &mut Self {
+    pub fn scatter(
+        &mut self,
+        target: ArrayId,
+        index_array: ArrayId,
+        pos: AffineExpr,
+        offset: i64,
+    ) -> &mut Self {
         self.refs.push(Ref::store(RefPattern::Array {
             array: target,
             subscripts: vec![Subscript::Indexed { index_array, index: pos, offset }],
@@ -237,7 +260,12 @@ impl StmtBuilder {
     }
 
     /// Adds a struct-field store `array[index].field = …`.
-    pub fn field_write(&mut self, array: ArrayId, index: AffineExpr, field_offset: i64) -> &mut Self {
+    pub fn field_write(
+        &mut self,
+        array: ArrayId,
+        index: AffineExpr,
+        field_offset: i64,
+    ) -> &mut Self {
         self.refs.push(Ref::store(RefPattern::StructField { array, index, field_offset }));
         self
     }

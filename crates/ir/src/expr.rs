@@ -101,10 +101,7 @@ impl AffineExpr {
 
     /// The coefficient of `v` (0 if absent).
     pub fn coeff(&self, v: VarId) -> i64 {
-        self.terms
-            .iter()
-            .find(|&&(tv, _)| tv == v)
-            .map_or(0, |&(_, c)| c)
+        self.terms.iter().find(|&&(tv, _)| tv == v).map_or(0, |&(_, c)| c)
     }
 
     /// The constant term.
@@ -400,11 +397,8 @@ mod tests {
     fn subscript_uses() {
         assert!(Subscript::Square(v(2)).uses(v(2)));
         assert!(!Subscript::Square(v(2)).uses(v(1)));
-        let idx = Subscript::Indexed {
-            index_array: ArrayId(0),
-            index: AffineExpr::var(v(3)),
-            offset: 0,
-        };
+        let idx =
+            Subscript::Indexed { index_array: ArrayId(0), index: AffineExpr::var(v(3)), offset: 0 };
         assert!(idx.uses(v(3)));
     }
 

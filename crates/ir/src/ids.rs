@@ -111,6 +111,24 @@ id_type! {
     LoopId
 }
 
+id_type! {
+    /// Identifies a uniform region of the program (dense, assigned by the
+    /// region partition in [`crate::RegionMap`] order).
+    RegionId
+}
+
+impl RegionId {
+    /// Sentinel for "no region": trace ops outside any partitioned region
+    /// (or produced without a region map) carry this value.
+    pub const NONE: RegionId = RegionId(u32::MAX);
+
+    /// True if this is the [`RegionId::NONE`] sentinel.
+    #[inline]
+    pub fn is_none(self) -> bool {
+        self == Self::NONE
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -142,6 +160,13 @@ mod tests {
         assert_eq!(VarId(0).to_string(), "v0");
         assert_eq!(ScalarId(7).to_string(), "s7");
         assert_eq!(LoopId(2).to_string(), "l2");
+        assert_eq!(RegionId(1).to_string(), "r1");
+    }
+
+    #[test]
+    fn region_none_sentinel() {
+        assert!(RegionId::NONE.is_none());
+        assert!(!RegionId(0).is_none());
     }
 
     #[test]

@@ -15,6 +15,7 @@
 use crate::expr::Subscript;
 use crate::ids::{Addr, ArrayId};
 use crate::program::{AddressMap, Item, Loop, Marker, Program, Ref, RefPattern, Stmt};
+use crate::region::RegionMap;
 use crate::trace::{OpKind, TraceOp, SITE_BYTES, TEXT_BASE};
 use std::collections::{HashMap, VecDeque};
 
@@ -42,12 +43,14 @@ impl PcMap {
                     }
                     Item::Block(stmts) => {
                         for s in stmts {
-                            map.sites.insert(s as *const Stmt as usize, TEXT_BASE + *next * SITE_BYTES);
+                            map.sites
+                                .insert(s as *const Stmt as usize, TEXT_BASE + *next * SITE_BYTES);
                             *next += 1;
                         }
                     }
                     Item::Marker(_) => {
-                        map.sites.insert(item as *const Item as usize, TEXT_BASE + *next * SITE_BYTES);
+                        map.sites
+                            .insert(item as *const Item as usize, TEXT_BASE + *next * SITE_BYTES);
                         *next += 1;
                     }
                 }
@@ -101,6 +104,7 @@ pub struct Interp<'p> {
     /// structure.
     chase: HashMap<(ArrayId, ArrayId), i64>,
     emitted: u64,
+    regions: Option<&'p RegionMap>,
 }
 
 impl<'p> Interp<'p> {
@@ -121,7 +125,16 @@ impl<'p> Interp<'p> {
             pcs: PcMap::build(program),
             chase: HashMap::new(),
             emitted: 0,
+            regions: None,
         }
+    }
+
+    /// Creates an interpreter that stamps every emitted op with the region
+    /// owning its static site, per the given [`RegionMap`].
+    pub fn with_regions(program: &'p Program, regions: &'p RegionMap) -> Self {
+        let mut interp = Self::new(program);
+        interp.regions = Some(regions);
+        interp
     }
 
     /// Number of ops produced so far.
@@ -237,11 +250,8 @@ impl<'p> Interp<'p> {
         let total_alu = stmt.int_ops as usize + stmt.fp_ops as usize;
         for k in 0..total_alu {
             let kind = if k < stmt.int_ops as usize { OpKind::IntAlu } else { OpKind::FpAlu };
-            let dep = if k == 0 {
-                last_load.map_or(0, |i| (self.pending.len() - i) as u16)
-            } else {
-                1
-            };
+            let dep =
+                if k == 0 { last_load.map_or(0, |i| (self.pending.len() - i) as u16) } else { 1 };
             let p = next_pc(&mut slot);
             self.push(TraceOp::with_dep(p, kind, dep));
             last_alu = Some(self.pending.len() - 1);
@@ -256,7 +266,8 @@ impl<'p> Interp<'p> {
                 self.push(TraceOp::new(p, OpKind::Load(res_addr)));
                 store_dep_src = Some(self.pending.len() - 1);
             }
-            let dep = store_dep_src.map_or(0, |i| (self.pending.len() - i).min(u16::MAX as usize) as u16);
+            let dep =
+                store_dep_src.map_or(0, |i| (self.pending.len() - i).min(u16::MAX as usize) as u16);
             let p = next_pc(&mut slot);
             self.push(TraceOp::with_dep(p, OpKind::Store(addr), dep));
         }
@@ -295,10 +306,7 @@ impl<'p> Interp<'p> {
                     coords.push(self.eval_subscript(s, &mut resolution));
                 }
                 let off = decl.linearize(&coords);
-                (
-                    self.amap.array_base(*array).offset(off as u64 * decl.elem_size),
-                    resolution,
-                )
+                (self.amap.array_base(*array).offset(off as u64 * decl.elem_size), resolution)
             }
             RefPattern::Pointer { heap, next, field_offset } => {
                 let heap_decl = &self.program.arrays[heap.index()];
@@ -306,10 +314,9 @@ impl<'p> Interp<'p> {
                 let next_data = next_decl.data.as_ref().expect("validated next-table data");
                 let cursor = self.chase.entry((*heap, *next)).or_insert(0);
                 let node = (*cursor).rem_euclid(heap_decl.len().max(1));
-                let next_addr = self
-                    .amap
-                    .array_base(*next)
-                    .offset(node.rem_euclid(next_data.len().max(1) as i64) as u64 * next_decl.elem_size);
+                let next_addr = self.amap.array_base(*next).offset(
+                    node.rem_euclid(next_data.len().max(1) as i64) as u64 * next_decl.elem_size,
+                );
                 let field = (*field_offset).clamp(0, heap_decl.elem_size.saturating_sub(1) as i64);
                 let node_addr = self
                     .amap
@@ -368,7 +375,11 @@ impl Iterator for Interp<'_> {
             return None;
         }
         self.emitted += 1;
-        self.pending.pop_front()
+        let mut op = self.pending.pop_front()?;
+        if let Some(map) = self.regions {
+            op.region = map.region_of_pc(op.pc);
+        }
+        Some(op)
     }
 }
 
@@ -460,13 +471,9 @@ mod tests {
             });
         });
         let mut p = b.finish().unwrap();
-        let row: Vec<u64> = Interp::new(&p)
-            .filter_map(|o| o.kind.addr().map(|a| a.0))
-            .collect();
+        let row: Vec<u64> = Interp::new(&p).filter_map(|o| o.kind.addr().map(|a| a.0)).collect();
         p.arrays[0].layout = crate::program::Layout::ColMajor;
-        let col: Vec<u64> = Interp::new(&p)
-            .filter_map(|o| o.kind.addr().map(|a| a.0))
-            .collect();
+        let col: Vec<u64> = Interp::new(&p).filter_map(|o| o.kind.addr().map(|a| a.0)).collect();
         // row-major: A[0][0], A[0][1] are 8 bytes apart; col-major: 64 bytes.
         assert_eq!(row[1] - row[0], 8);
         assert_eq!(col[1] - col[0], 64);
@@ -486,7 +493,7 @@ mod tests {
         let amap = p.address_map();
         let mem: Vec<_> = Interp::new(&p).filter(|o| o.kind.is_mem()).collect();
         assert_eq!(mem.len(), 8); // index load + gather load, 4 iterations
-        // First op touches IP, second touches X at IP[0]=5.
+                                  // First op touches IP, second touches X at IP[0]=5.
         assert_eq!(mem[0].kind.addr().unwrap(), amap.array_base(crate::ids::ArrayId(1)));
         assert_eq!(
             mem[1].kind.addr().unwrap(),
@@ -573,9 +580,7 @@ mod tests {
                 b.stmt(|s| {
                     s.read(
                         a,
-                        vec![Subscript::Affine(
-                            AffineExpr::from_terms([(ii, 4), (i, 1)], 0),
-                        )],
+                        vec![Subscript::Affine(AffineExpr::from_terms([(ii, 4), (i, 1)], 0))],
                     );
                 });
             });

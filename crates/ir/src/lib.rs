@@ -45,17 +45,19 @@ mod ids;
 mod interp;
 mod pretty;
 mod program;
+mod region;
 mod trace;
 mod trace_io;
 
 pub use builder::{ProgramBuilder, StmtBuilder};
 pub use expr::{AffineExpr, Subscript};
-pub use ids::{Addr, ArrayId, LoopId, ScalarId, VarId};
+pub use ids::{Addr, ArrayId, LoopId, RegionId, ScalarId, VarId};
 pub use interp::{trace_len, Interp};
 pub use pretty::pretty;
 pub use program::{
     AddressMap, ArrayDecl, Item, Layout, Loop, Marker, Program, ProgramError, Ref, RefPattern,
     Stmt, Trip,
 };
-pub use trace::{OpKind, TraceOp, SITE_BYTES, TEXT_BASE};
+pub use region::{site_count, RegionMap, RegionMapBuilder};
+pub use trace::{site_index, OpKind, TraceOp, SITE_BYTES, TEXT_BASE};
 pub use trace_io::{TraceReader, TraceWriter, TRACE_MAGIC};

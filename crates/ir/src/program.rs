@@ -669,12 +669,7 @@ mod tests {
 
     #[test]
     fn validate_catches_shadowed_var() {
-        let inner = Loop {
-            id: LoopId(1),
-            var: VarId(0),
-            trip: Trip::Const(2),
-            body: vec![],
-        };
+        let inner = Loop { id: LoopId(1), var: VarId(0), trip: Trip::Const(2), body: vec![] };
         let p = Program {
             name: "t".into(),
             arrays: vec![],

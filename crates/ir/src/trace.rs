@@ -1,7 +1,7 @@
 //! Dynamic-trace representation: the instruction stream consumed by the
 //! processor model.
 
-use crate::ids::Addr;
+use crate::ids::{Addr, RegionId};
 use std::fmt;
 
 /// Base virtual address of the synthetic text segment.
@@ -10,6 +10,16 @@ pub const TEXT_BASE: u64 = 0x0040_0000;
 /// Bytes reserved per static statement / loop-latch site in the synthetic
 /// text segment (16 four-byte instruction slots).
 pub const SITE_BYTES: u64 = 64;
+
+/// The static-site index of a program counter, or `None` for PCs below the
+/// text segment. Sites are numbered in the deterministic pre-order walk the
+/// interpreter uses to assign PCs, so `site_index` is the key that joins a
+/// dynamic event back to its static statement (and, through
+/// [`crate::RegionMap`], to its region).
+#[inline]
+pub fn site_index(pc: u64) -> Option<usize> {
+    pc.checked_sub(TEXT_BASE).map(|off| (off / SITE_BYTES) as usize)
+}
 
 /// The operation class of one dynamic instruction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -73,17 +83,26 @@ pub struct TraceOp {
     /// Dependence distance: this op reads the result of the op emitted `dep`
     /// positions earlier (0 = no register dependence).
     pub dep: u16,
+    /// Uniform region that issued this op ([`RegionId::NONE`] when the trace
+    /// was produced without a region map).
+    pub region: RegionId,
 }
 
 impl TraceOp {
     /// Creates an op with no dependence.
     pub fn new(pc: u64, kind: OpKind) -> Self {
-        TraceOp { pc, kind, dep: 0 }
+        TraceOp { pc, kind, dep: 0, region: RegionId::NONE }
     }
 
     /// Creates an op depending on the op `dep` positions earlier.
     pub fn with_dep(pc: u64, kind: OpKind, dep: u16) -> Self {
-        TraceOp { pc, kind, dep }
+        TraceOp { pc, kind, dep, region: RegionId::NONE }
+    }
+
+    /// Returns the op tagged with the given region.
+    pub fn with_region(mut self, region: RegionId) -> Self {
+        self.region = region;
+        self
     }
 }
 
@@ -115,5 +134,20 @@ mod tests {
         let op = TraceOp::with_dep(0x400000, OpKind::Load(Addr(0x1000)), 2);
         assert_eq!(op.to_string(), "0x400000: ld 0x1000 (dep -2)");
         assert_eq!(TraceOp::new(4, OpKind::Branch { taken: false }).to_string(), "0x4: br N");
+    }
+
+    #[test]
+    fn site_index_maps_text_segment() {
+        assert_eq!(site_index(TEXT_BASE), Some(0));
+        assert_eq!(site_index(TEXT_BASE + SITE_BYTES - 1), Some(0));
+        assert_eq!(site_index(TEXT_BASE + 3 * SITE_BYTES + 8), Some(3));
+        assert_eq!(site_index(0), None);
+    }
+
+    #[test]
+    fn region_tagging() {
+        let op = TraceOp::new(TEXT_BASE, OpKind::IntAlu);
+        assert!(op.region.is_none());
+        assert_eq!(op.with_region(RegionId(2)).region, RegionId(2));
     }
 }

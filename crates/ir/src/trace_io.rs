@@ -6,7 +6,7 @@
 //! PCs and addresses as zig-zag deltas against the previous value of the
 //! same kind — long runs of sequential accesses compress to ~2 bytes/op.
 
-use crate::ids::Addr;
+use crate::ids::{Addr, RegionId};
 use crate::trace::{OpKind, TraceOp};
 use std::io::{self, Read, Write};
 
@@ -162,7 +162,9 @@ impl<R: Read> TraceReader<R> {
 
     fn read_op(&mut self) -> io::Result<Option<TraceOp>> {
         let mut tag = [0u8];
-        if self.input.read(&mut tag)? == 0 { return Ok(None) }
+        if self.input.read(&mut tag)? == 0 {
+            return Ok(None);
+        }
         let pc_delta = unzigzag(read_varint(&mut self.input)?);
         let pc = (self.last_pc as i64 + pc_delta) as u64;
         self.last_pc = pc;
@@ -191,7 +193,7 @@ impl<R: Read> TraceReader<R> {
                 ))
             }
         };
-        Ok(Some(TraceOp { pc, kind, dep }))
+        Ok(Some(TraceOp { pc, kind, dep, region: RegionId::NONE }))
     }
 }
 

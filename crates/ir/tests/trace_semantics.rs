@@ -1,9 +1,7 @@
 //! Integration tests for trace generation: address math across layouts,
 //! dependence encoding, PC stability, and marker placement.
 
-use selcache_ir::{
-    AffineExpr, Interp, Layout, OpKind, ProgramBuilder, Subscript, TEXT_BASE,
-};
+use selcache_ir::{AffineExpr, Interp, Layout, OpKind, ProgramBuilder, Subscript, TEXT_BASE};
 
 #[test]
 fn row_major_2d_addresses_are_exact() {
@@ -84,11 +82,8 @@ fn gather_dependence_chain_is_encoded() {
     let ops: Vec<_> = Interp::new(&p).collect();
     // Per iteration: index load (dep 0), gather load (dep 1), fp (dep 1 on
     // gather), fp (dep 1), incr, branch.
-    let gathers: Vec<_> = ops
-        .iter()
-        .enumerate()
-        .filter(|(_, o)| matches!(o.kind, OpKind::Load(_)))
-        .collect();
+    let gathers: Vec<_> =
+        ops.iter().enumerate().filter(|(_, o)| matches!(o.kind, OpKind::Load(_))).collect();
     assert_eq!(gathers.len(), 16); // 8 index + 8 data
     for pair in gathers.chunks(2) {
         assert_eq!(pair[0].1.dep, 0, "index load independent");
@@ -170,8 +165,7 @@ fn modulo_and_product_subscripts_stay_in_bounds() {
     let d = b.array("D", &[16], 8);
     b.nest2(8, 8, |b, i, j| {
         b.stmt(|s| {
-            s.read(a, vec![Subscript::Modulo(i, 32)])
-                .read(d, vec![Subscript::Product(i, j)]);
+            s.read(a, vec![Subscript::Modulo(i, 32)]).read(d, vec![Subscript::Product(i, j)]);
         });
     });
     let p = b.finish().unwrap();

@@ -265,12 +265,7 @@ impl Cache {
         // Deterministic preview matching choose_victim for LRU/FIFO; for
         // Random the preview is the oldest line (an approximation used only
         // by assist decision logic).
-        self.sets[si]
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, l)| l.stamp)
-            .map(|(i, _)| i)
-            .unwrap_or(0)
+        self.sets[si].iter().enumerate().min_by_key(|(_, l)| l.stamp).map(|(i, _)| i).unwrap_or(0)
     }
 
     fn choose_victim(&mut self, si: usize) -> usize {
@@ -503,7 +498,8 @@ mod tests {
     #[test]
     fn plru_two_way_matches_lru() {
         // With 2 ways, tree PLRU is exact LRU.
-        let mk = |rep| Cache::new(CacheConfig { size: 256, assoc: 2, block_size: 32, replacement: rep });
+        let mk =
+            |rep| Cache::new(CacheConfig { size: 256, assoc: 2, block_size: 32, replacement: rep });
         let mut plru = mk(Replacement::Plru);
         let mut lru = mk(Replacement::Lru);
         let mut state = 41u64;
@@ -522,7 +518,12 @@ mod tests {
 
     #[test]
     fn plru_victim_is_not_most_recent() {
-        let mut c = Cache::new(CacheConfig { size: 4 * 32, assoc: 4, block_size: 32, replacement: Replacement::Plru });
+        let mut c = Cache::new(CacheConfig {
+            size: 4 * 32,
+            assoc: 4,
+            block_size: 32,
+            replacement: Replacement::Plru,
+        });
         for b in 0..4 {
             c.fill(b, false);
         }
@@ -535,7 +536,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "power-of-two associativity")]
     fn plru_requires_power_of_two_ways() {
-        let _ = Cache::new(CacheConfig { size: 96, assoc: 3, block_size: 32, replacement: Replacement::Plru });
+        let _ = Cache::new(CacheConfig {
+            size: 96,
+            assoc: 3,
+            block_size: 32,
+            replacement: Replacement::Plru,
+        });
     }
 
     #[test]

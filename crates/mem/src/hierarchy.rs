@@ -11,6 +11,7 @@
 
 use crate::bypass::{BypassConfig, BypassEngine, FillDecision};
 use crate::cache::{Cache, CacheConfig};
+use crate::probe::{AssistEvent, CacheLevel, NullProbe, Probe, Site};
 use crate::stats::{AssistStats, HierarchyStats};
 use crate::tlb::{Tlb, TlbConfig};
 use crate::victim::VictimCache;
@@ -195,16 +196,38 @@ impl MemoryHierarchy {
     /// memory bus: bursts of misses serialize on bandwidth, so reducing the
     /// miss *count* matters even when individual misses could overlap.
     pub fn data_access(&mut self, addr: Addr, write: bool, now: u64) -> u64 {
-        let mut t = now + self.cfg.l1_latency + self.dtlb.access(addr);
+        self.data_access_probed(addr, write, now, Site::UNKNOWN, &mut NullProbe)
+    }
+
+    /// [`MemoryHierarchy::data_access`] with event instrumentation: every
+    /// cache lookup, writeback, TLB miss and assist action is reported to
+    /// `probe`, attributed to `site`. The [`NullProbe`] instantiation
+    /// monomorphizes back to the uninstrumented path.
+    pub fn data_access_probed<P: Probe>(
+        &mut self,
+        addr: Addr,
+        write: bool,
+        now: u64,
+        site: Site,
+        probe: &mut P,
+    ) -> u64 {
+        let tlb_lat = self.dtlb.access(addr);
+        if tlb_lat > 0 {
+            probe.tlb_miss(site, false);
+        }
+        let mut t = now + self.cfg.l1_latency + tlb_lat;
         let b1 = self.l1d.block_of(addr);
         let active = self.assist_active();
         if active {
             self.assisted_accesses += 1;
+            probe.assist(site, addr, AssistEvent::Observed);
             if let Some(engine) = &mut self.bypass {
                 engine.observe(addr);
             }
         }
-        if self.l1d.access(b1, write).is_hit() {
+        let lookup = self.l1d.access(b1, write);
+        probe.cache_access(CacheLevel::L1d, site, addr, write, lookup);
+        if lookup.is_hit() {
             return t - now;
         }
         // L1 miss: assist short paths (no L2 port traffic). A bypass-buffer
@@ -213,6 +236,7 @@ impl MemoryHierarchy {
         if active {
             if let Some(engine) = &mut self.bypass {
                 if engine.probe_buffer(b1, write) {
+                    probe.assist(site, addr, AssistEvent::BufferHit);
                     return t + 2 - now;
                 }
             }
@@ -220,7 +244,8 @@ impl MemoryHierarchy {
                 if let Some(dirty) = victim.probe_remove(b1) {
                     // Swap: block returns to L1, the displaced line moves to
                     // the victim cache.
-                    self.fill_l1_with_victim(b1, dirty || write);
+                    probe.assist(site, addr, AssistEvent::L1VictimHit);
+                    self.fill_l1_with_victim(b1, dirty || write, probe);
                     return t + 1 - now;
                 }
             }
@@ -228,8 +253,9 @@ impl MemoryHierarchy {
                 if stream.probe(b1).is_some() {
                     // Supplied by a stream buffer; the replacement prefetch
                     // consumes L2 bandwidth in the background.
+                    probe.assist(site, addr, AssistEvent::StreamHit);
                     self.l2_busy_until = self.l2_busy_until.max(t) + self.cfg.l2_occupancy;
-                    self.fill_l1(b1, write);
+                    self.fill_l1(b1, write, probe);
                     return t + 1 - now;
                 }
             }
@@ -239,12 +265,15 @@ impl MemoryHierarchy {
         self.l2_busy_until = start + self.cfg.l2_occupancy;
         t = start + self.cfg.l2_latency;
         let b2 = self.l2.block_of(addr);
-        if !self.l2.access(b2, false).is_hit() {
+        let l2_lookup = self.l2.access(b2, false);
+        probe.cache_access(CacheLevel::L2, site, addr, false, l2_lookup);
+        if !l2_lookup.is_hit() {
             let mut served = false;
             if active {
                 if let Some(victim) = &mut self.victim_l2 {
                     if let Some(dirty) = victim.probe_remove(b2) {
-                        self.fill_l2_with_victim(b2, dirty);
+                        probe.assist(site, addr, AssistEvent::L2VictimHit);
+                        self.fill_l2_with_victim(b2, dirty, probe);
                         served = true;
                         t += 1;
                     }
@@ -257,41 +286,42 @@ impl MemoryHierarchy {
                 let skip_l2 = if active {
                     let victim =
                         self.l2.victim_for(b2).map(|e| Addr(e.block * self.cfg.l2.block_size));
-                    self.bypass
-                        .as_mut()
-                        .is_some_and(|engine| engine.decide_l2_bypass(addr, victim))
+                    self.bypass.as_mut().is_some_and(|engine| engine.decide_l2_bypass(addr, victim))
                 } else {
                     false
                 };
-                if !skip_l2 {
-                    self.fill_l2(b2, false);
+                if skip_l2 {
+                    probe.assist(site, addr, AssistEvent::L2BypassFill);
+                } else {
+                    self.fill_l2(b2, false, probe);
                 }
             }
         }
         // L1 fill policy.
         if active && self.bypass.is_some() {
-            let victim_addr = self
-                .l1d
-                .victim_for(b1)
-                .map(|e| Addr(e.block * self.cfg.l1d.block_size));
+            let victim_addr =
+                self.l1d.victim_for(b1).map(|e| Addr(e.block * self.cfg.l1d.block_size));
             let engine = self.bypass.as_mut().expect("bypass engine present");
             match engine.decide(addr, victim_addr) {
                 FillDecision::Bypass => {
-                    if let Some(ev) = engine.insert_buffer(b1, write) {
-                        self.writeback_to_l2(ev.block);
+                    probe.assist(site, addr, AssistEvent::BypassFill);
+                    let evicted = engine.insert_buffer(b1, write);
+                    if let Some(ev) = evicted {
+                        self.writeback_to_l2(ev.block, probe);
                     }
                 }
                 FillDecision::Allocate { prefetch_next } => {
-                    self.fill_l1(b1, write);
+                    probe.assist(site, addr, AssistEvent::Allocate { prefetch: prefetch_next });
+                    self.fill_l1(b1, write, probe);
                     if prefetch_next {
-                        t += self.prefetch_adjacent(b1 + 1);
+                        t += self.prefetch_adjacent(b1 + 1, site, probe);
                     }
                 }
             }
         } else if active && self.victim_l1.is_some() {
-            self.fill_l1_with_victim(b1, write);
+            self.fill_l1_with_victim(b1, write, probe);
         } else {
-            self.fill_l1(b1, write);
+            self.fill_l1(b1, write, probe);
         }
         t - now
     }
@@ -300,19 +330,38 @@ impl MemoryHierarchy {
     /// `now`, returning the *stall* latency (0 on an L1I hit — fetch is
     /// pipelined).
     pub fn inst_fetch(&mut self, pc: u64, now: u64) -> u64 {
+        self.inst_fetch_probed(pc, now, Site::UNKNOWN, &mut NullProbe)
+    }
+
+    /// [`MemoryHierarchy::inst_fetch`] with event instrumentation.
+    pub fn inst_fetch_probed<P: Probe>(
+        &mut self,
+        pc: u64,
+        now: u64,
+        site: Site,
+        probe: &mut P,
+    ) -> u64 {
         let addr = Addr(pc);
-        let mut t = now + self.itlb.access(addr);
+        let tlb_lat = self.itlb.access(addr);
+        if tlb_lat > 0 {
+            probe.tlb_miss(site, true);
+        }
+        let mut t = now + tlb_lat;
         let bi = self.l1i.block_of(addr);
-        if self.l1i.access(bi, false).is_hit() {
+        let lookup = self.l1i.access(bi, false);
+        probe.cache_access(CacheLevel::L1i, site, addr, false, lookup);
+        if lookup.is_hit() {
             return t - now;
         }
         let start = t.max(self.l2_busy_until);
         self.l2_busy_until = start + self.cfg.l2_occupancy;
         t = start + self.cfg.l2_latency;
         let b2 = self.l2.block_of(addr);
-        if !self.l2.access(b2, false).is_hit() {
+        let l2_lookup = self.l2.access(b2, false);
+        probe.cache_access(CacheLevel::L2, site, addr, false, l2_lookup);
+        if !l2_lookup.is_hit() {
             t = self.memory_access(addr, t);
-            self.fill_l2(b2, false);
+            self.fill_l2(b2, false, probe);
         }
         if let Some(ev) = self.l1i.fill(bi, false) {
             debug_assert!(!ev.dirty, "instruction lines are never dirty");
@@ -349,13 +398,16 @@ impl MemoryHierarchy {
         b1 * self.cfg.l1d.block_size / self.cfg.l2.block_size
     }
 
-    fn writeback_to_l2(&mut self, b1: u64) {
+    fn writeback_to_l2<P: Probe>(&mut self, b1: u64, probe: &mut P) {
         let b2 = self.l1_block_to_l2(b1);
-        self.fill_l2(b2, true);
+        self.fill_l2(b2, true, probe);
     }
 
-    fn fill_l2(&mut self, b2: u64, dirty: bool) {
+    fn fill_l2<P: Probe>(&mut self, b2: u64, dirty: bool, probe: &mut P) {
         if let Some(ev) = self.l2.fill(b2, dirty) {
+            if ev.dirty {
+                probe.writeback(CacheLevel::L2);
+            }
             if self.assist_active() {
                 if let Some(victim) = &mut self.victim_l2 {
                     // Dirty overflow from the L2 victim cache goes to memory;
@@ -366,28 +418,35 @@ impl MemoryHierarchy {
         }
     }
 
-    fn fill_l2_with_victim(&mut self, b2: u64, dirty: bool) {
+    fn fill_l2_with_victim<P: Probe>(&mut self, b2: u64, dirty: bool, probe: &mut P) {
         if let Some(ev) = self.l2.fill(b2, dirty) {
+            if ev.dirty {
+                probe.writeback(CacheLevel::L2);
+            }
             if let Some(victim) = &mut self.victim_l2 {
                 let _ = victim.insert(ev.block, ev.dirty);
             }
         }
     }
 
-    fn fill_l1(&mut self, b1: u64, dirty: bool) {
+    fn fill_l1<P: Probe>(&mut self, b1: u64, dirty: bool, probe: &mut P) {
         if let Some(ev) = self.l1d.fill(b1, dirty) {
             if ev.dirty {
-                self.writeback_to_l2(ev.block);
+                probe.writeback(CacheLevel::L1d);
+                self.writeback_to_l2(ev.block, probe);
             }
         }
     }
 
-    fn fill_l1_with_victim(&mut self, b1: u64, dirty: bool) {
+    fn fill_l1_with_victim<P: Probe>(&mut self, b1: u64, dirty: bool, probe: &mut P) {
         if let Some(ev) = self.l1d.fill(b1, dirty) {
+            if ev.dirty {
+                probe.writeback(CacheLevel::L1d);
+            }
             if let Some(victim) = &mut self.victim_l1 {
                 if let Some((spilled, spilled_dirty)) = victim.insert(ev.block, ev.dirty) {
                     if spilled_dirty {
-                        self.writeback_to_l2(spilled);
+                        self.writeback_to_l2(spilled, probe);
                     }
                 }
             }
@@ -397,7 +456,7 @@ impl MemoryHierarchy {
     /// Prefetches the adjacent block from L2 into L1 (SLDT large fetch).
     /// Charges only the extra bus occupancy; skipped when L2 does not hold
     /// the block. Returns the extra latency.
-    fn prefetch_adjacent(&mut self, b1: u64) -> u64 {
+    fn prefetch_adjacent<P: Probe>(&mut self, b1: u64, site: Site, probe: &mut P) -> u64 {
         if self.l1d.probe(b1) {
             return 0;
         }
@@ -406,7 +465,8 @@ impl MemoryHierarchy {
             return 0;
         }
         self.spatial_prefetches += 1;
-        self.fill_l1(b1, false);
+        probe.assist(site, Addr(b1 * self.cfg.l1d.block_size), AssistEvent::SpatialPrefetch);
+        self.fill_l1(b1, false, probe);
         // Extra transfer slot for the second block.
         self.cfg.l1d.block_size / self.cfg.bus_bytes / 2
     }
@@ -444,14 +504,14 @@ mod tests {
 
     /// Test driver that spaces accesses far apart in time so port queueing
     /// never affects individual latency assertions.
-    struct Probe {
+    struct Driver {
         h: MemoryHierarchy,
         now: u64,
     }
 
-    impl Probe {
-        fn new(assist: AssistKind) -> Probe {
-            Probe { h: MemoryHierarchy::new(HierarchyConfig::paper_base(assist)), now: 0 }
+    impl Driver {
+        fn new(assist: AssistKind) -> Driver {
+            Driver { h: MemoryHierarchy::new(HierarchyConfig::paper_base(assist)), now: 0 }
         }
 
         fn data(&mut self, addr: Addr, write: bool) -> u64 {
@@ -467,7 +527,7 @@ mod tests {
 
     #[test]
     fn hit_latency_is_l1() {
-        let mut p = Probe::new(AssistKind::None);
+        let mut p = Driver::new(AssistKind::None);
         let a = Addr(0x1000_0000);
         let first = p.data(a, false);
         // Cold: TLB miss (30) + L1 (2) + L2 (10) + mem (100) + transfer (16).
@@ -478,7 +538,7 @@ mod tests {
 
     #[test]
     fn l2_hit_latency() {
-        let mut p = Probe::new(AssistKind::None);
+        let mut p = Driver::new(AssistKind::None);
         let a = Addr(0x1000_0000);
         p.data(a, false);
         // Evict from L1 by touching 4 conflicting blocks (4-way, 8 KiB apart).
@@ -494,7 +554,7 @@ mod tests {
     fn back_to_back_misses_queue_on_l2_port() {
         // Two simultaneous L1 misses to warm L2 blocks: the second queues
         // behind the first's port occupancy.
-        let mut p = Probe::new(AssistKind::None);
+        let mut p = Driver::new(AssistKind::None);
         let a = Addr(0x1000_0000);
         let b = Addr(0x1000_2000);
         p.data(a, false);
@@ -546,7 +606,7 @@ mod tests {
 
     #[test]
     fn miss_rates_accumulate() {
-        let mut p = Probe::new(AssistKind::None);
+        let mut p = Driver::new(AssistKind::None);
         for i in 0..1000u64 {
             p.data(Addr(0x1000_0000 + i * 8), false);
         }
@@ -560,7 +620,7 @@ mod tests {
 
     #[test]
     fn victim_cache_catches_conflict_evictions() {
-        let mut p = Probe::new(AssistKind::Victim);
+        let mut p = Driver::new(AssistKind::Victim);
         let a = Addr(0x1000_0000);
         p.data(a, false);
         // Evict `a` from L1 via 4 conflicting fills.
@@ -574,7 +634,7 @@ mod tests {
 
     #[test]
     fn victim_ignored_when_disabled() {
-        let mut p = Probe::new(AssistKind::Victim);
+        let mut p = Driver::new(AssistKind::Victim);
         let a = Addr(0x1000_0000);
         p.data(a, false);
         for k in 1..=4u64 {
@@ -588,7 +648,7 @@ mod tests {
 
     #[test]
     fn bypass_keeps_hot_block_resident() {
-        let mut p = Probe::new(AssistKind::Bypass);
+        let mut p = Driver::new(AssistKind::Bypass);
         let hot = Addr(0x1000_0000);
         // Train the MAT: the hot region becomes frequent.
         for _ in 0..64 {
@@ -607,7 +667,7 @@ mod tests {
 
     #[test]
     fn bypass_buffer_serves_repeat_access() {
-        let mut p = Probe::new(AssistKind::Bypass);
+        let mut p = Driver::new(AssistKind::Bypass);
         let hot = Addr(0x1000_0000);
         for _ in 0..64 {
             p.data(hot, false);
@@ -626,7 +686,7 @@ mod tests {
 
     #[test]
     fn assist_state_persists_across_disable() {
-        let mut p = Probe::new(AssistKind::Bypass);
+        let mut p = Driver::new(AssistKind::Bypass);
         let hot = Addr(0x1000_0000);
         for _ in 0..64 {
             p.data(hot, false);
@@ -643,7 +703,7 @@ mod tests {
 
     #[test]
     fn stream_buffers_accelerate_sequential_misses() {
-        let mut p = Probe::new(AssistKind::Stream);
+        let mut p = Driver::new(AssistKind::Stream);
         // Sequential block stream: first miss allocates, the rest hit the
         // stream buffer at L1+1 cycles.
         let mut cheap = 0;
@@ -665,7 +725,7 @@ mod tests {
 
     #[test]
     fn inst_fetch_hits_after_fill() {
-        let mut p = Probe::new(AssistKind::None);
+        let mut p = Driver::new(AssistKind::None);
         let pc = 0x40_0000;
         let cold = p.fetch(pc);
         assert!(cold > 0);
@@ -678,7 +738,7 @@ mod tests {
 
     #[test]
     fn dirty_writeback_reaches_l2() {
-        let mut p = Probe::new(AssistKind::None);
+        let mut p = Driver::new(AssistKind::None);
         let a = Addr(0x1000_0000);
         p.data(a, true); // dirty in L1
         for k in 1..=4u64 {
@@ -690,7 +750,7 @@ mod tests {
 
     #[test]
     fn conflict_misses_classified() {
-        let mut p = Probe::new(AssistKind::None);
+        let mut p = Driver::new(AssistKind::None);
         let a = Addr(0x1000_0000);
         p.data(a, false);
         for k in 1..=4u64 {
@@ -700,5 +760,40 @@ mod tests {
         let s = p.h.stats();
         assert_eq!(s.l1d.conflict, 1);
         assert_eq!(s.l1d.compulsory, 5);
+    }
+
+    /// The event stream is complete: replaying every probed access into a
+    /// [`HierarchyStatsProbe`] reconstructs the hierarchy's own counters
+    /// byte-for-byte, for every assist kind, including disabled phases.
+    #[test]
+    fn stats_probe_matches_component_counters() {
+        for assist in [AssistKind::None, AssistKind::Bypass, AssistKind::Victim, AssistKind::Stream]
+        {
+            let mut h = MemoryHierarchy::new(HierarchyConfig::paper_base(assist));
+            let mut probe = crate::probe::HierarchyStatsProbe::new();
+            let mut now = 0;
+            for i in 0..4000u64 {
+                now += 50;
+                // A mix of streaming, conflicting, and dirty traffic, with an
+                // assist-off window in the middle.
+                if i == 1500 {
+                    h.set_assist_enabled(false);
+                }
+                if i == 2500 {
+                    h.set_assist_enabled(true);
+                }
+                let addr = match i % 5 {
+                    0 | 1 => Addr(0x1000_0000 + i * 8),
+                    2 => Addr(0x2000_0000 + (i % 7) * 8192),
+                    3 => Addr(0x1000_0000 + (i % 11) * 4096),
+                    _ => Addr(0x3000_0000 + (i % 3) * 16384),
+                };
+                h.data_access_probed(addr, i % 4 == 0, now, Site::UNKNOWN, &mut probe);
+                if i % 3 == 0 {
+                    h.inst_fetch_probed(0x40_0000 + (i % 64) * 64, now, Site::UNKNOWN, &mut probe);
+                }
+            }
+            assert_eq!(probe.stats(), h.stats(), "event stream incomplete for {assist:?}");
+        }
     }
 }

@@ -26,6 +26,7 @@ mod cache;
 mod hierarchy;
 mod lru;
 mod mat;
+mod probe;
 mod sldt;
 mod stats;
 mod stream;
@@ -37,6 +38,7 @@ pub use cache::{Cache, CacheConfig, Eviction, Lookup, Replacement};
 pub use hierarchy::{AssistKind, HierarchyConfig, MemoryHierarchy};
 pub use lru::LruSet;
 pub use mat::{Mat, MatConfig};
+pub use probe::{AssistEvent, CacheLevel, HierarchyStatsProbe, NullProbe, Probe, Site};
 pub use sldt::{Sldt, SldtConfig};
 pub use stats::{AssistStats, CacheStats, HierarchyStats, MissClass};
 pub use stream::{StreamBuffers, StreamConfig};

@@ -27,14 +27,7 @@ pub struct SldtConfig {
 
 impl Default for SldtConfig {
     fn default() -> Self {
-        SldtConfig {
-            entries: 64,
-            macro_block: 1024,
-            block_size: 32,
-            threshold: 2,
-            max: 7,
-            min: -8,
-        }
+        SldtConfig { entries: 64, macro_block: 1024, block_size: 32, threshold: 2, max: 7, min: -8 }
     }
 }
 
@@ -66,10 +59,7 @@ impl Sldt {
         assert!(cfg.block_size.is_power_of_two(), "block size must be a power of two");
         Sldt {
             cfg,
-            entries: vec![
-                Entry { tag: 0, last_block: 0, counter: 0, valid: false };
-                cfg.entries
-            ],
+            entries: vec![Entry { tag: 0, last_block: 0, counter: 0, valid: false }; cfg.entries],
             spatial_hits: 0,
         }
     }

@@ -80,10 +80,8 @@ impl StreamBuffers {
     pub fn probe(&mut self, block: u64) -> Option<bool> {
         self.stamp += 1;
         let stamp = self.stamp;
-        if let Some(buf) = self
-            .buffers
-            .iter_mut()
-            .find(|b| b.valid && b.head == block && b.ready > 0)
+        if let Some(buf) =
+            self.buffers.iter_mut().find(|b| b.valid && b.head == block && b.ready > 0)
         {
             buf.head += 1;
             buf.stamp = stamp;

@@ -18,7 +18,11 @@ fn stream(seed: u64, len: usize, footprint: u64) -> Vec<(u64, bool)> {
         .collect()
 }
 
-fn run(assist: AssistKind, accesses: &[(u64, bool)], toggle_every: Option<usize>) -> MemoryHierarchy {
+fn run(
+    assist: AssistKind,
+    accesses: &[(u64, bool)],
+    toggle_every: Option<usize>,
+) -> MemoryHierarchy {
     let mut h = MemoryHierarchy::new(HierarchyConfig::paper_base(assist));
     let mut now = 0u64;
     for (k, &(a, w)) in accesses.iter().enumerate() {

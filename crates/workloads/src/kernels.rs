@@ -83,7 +83,10 @@ pub fn chaos(scale: Scale) -> Program {
         // Node update (regular, 1-D).
         b.loop_(nodes, |b, i| {
             b.stmt(|s| {
-                s.read(node_f, vec![at(i)]).read(node_x, vec![at(i)]).fp(2).write(node_x, vec![at(i)]);
+                s.read(node_f, vec![at(i)])
+                    .read(node_x, vec![at(i)])
+                    .fp(2)
+                    .write(node_x, vec![at(i)]);
             });
         });
         // Grid phase (regular, 2-D, column-order over a tall grid in the

@@ -142,16 +142,14 @@ pub fn mgrid(scale: Scale) -> Program {
         // fine grid at stride 2 — same worst-case order as the relaxation.
         b.nest3(m / 2 - 1, m / 2 - 1, r / 2 - 1, |b, k, j, i| {
             b.stmt(|s| {
-                s.read(c, vec![at(i), at(j), at(k)])
-                    .fp(1)
-                    .write(
-                        rr,
-                        vec![
-                            Subscript::linear(i, 2, 1),
-                            Subscript::linear(j, 2, 1),
-                            Subscript::linear(k, 2, 1),
-                        ],
-                    );
+                s.read(c, vec![at(i), at(j), at(k)]).fp(1).write(
+                    rr,
+                    vec![
+                        Subscript::linear(i, 2, 1),
+                        Subscript::linear(j, 2, 1),
+                        Subscript::linear(k, 2, 1),
+                    ],
+                );
             });
         });
     });
@@ -167,9 +165,8 @@ pub fn vpenta(scale: Scale) -> Program {
     let mut b = ProgramBuilder::new("vpenta");
     let names = ["VA", "VB", "VC", "VD", "VE", "VF", "VX", "VY"];
     let arrays: Vec<_> = names.iter().map(|nm| b.array(*nm, &[r, n], 8)).collect();
-    let (a, bb, c, d, e, f, x, y) = (
-        arrays[0], arrays[1], arrays[2], arrays[3], arrays[4], arrays[5], arrays[6], arrays[7],
-    );
+    let (a, bb, c, d, e, f, x, y) =
+        (arrays[0], arrays[1], arrays[2], arrays[3], arrays[4], arrays[5], arrays[6], arrays[7]);
 
     // Forward elimination: column sweeps over five planes at once.
     b.nest2(n, r - 2, |b, i, j| {
@@ -213,11 +210,7 @@ pub fn applu(scale: Scale) -> Program {
         data::permutation(&mut rng, n).iter().map(|&p| p % blocks).collect(),
         4,
     );
-    let col = b.data_array(
-        "COLIDX",
-        data::uniform_indices(&mut rng, n as usize, blocks * 5),
-        4,
-    );
+    let col = b.data_array("COLIDX", data::uniform_indices(&mut rng, n as usize, blocks * 5), 4);
     let small = scale.pick(768, 1536, 3072);
     let tmp = b.array("TMP", &[small, COLS], 8);
     let tmp2 = b.array("TMP2", &[small, COLS], 8);

@@ -47,10 +47,12 @@ pub fn perl(scale: Scale) -> Program {
                     .write_scalar(sp1);
             });
             b.stmt(|s| {
-                s.gather(strbuf, stridx, AffineExpr::var(k), 0)
-                    .read_scalar(sp1)
-                    .int(3)
-                    .scatter(symtab, symidx, AffineExpr::var(k), 0);
+                s.gather(strbuf, stridx, AffineExpr::var(k), 0).read_scalar(sp1).int(3).scatter(
+                    symtab,
+                    symidx,
+                    AffineExpr::var(k),
+                    0,
+                );
             });
         });
     });
@@ -71,17 +73,11 @@ pub fn compress(scale: Scale) -> Program {
     let mut b = ProgramBuilder::new("compress");
     let inbuf = b.array("INBUF", &[input], 1);
     let htab = b.array("HTAB", &[htab_size], 8);
-    let hashes = b.data_array(
-        "HASHES",
-        data::uniform_indices(&mut rng, input as usize, htab_size),
-        4,
-    );
+    let hashes =
+        b.data_array("HASHES", data::uniform_indices(&mut rng, input as usize, htab_size), 4);
     let codetab = b.array("CODETAB", &[codes], 2);
-    let codeidx = b.data_array(
-        "CODEIDX",
-        data::skewed_indices(&mut rng, input as usize, codes, 256, 0.8),
-        4,
-    );
+    let codeidx =
+        b.data_array("CODEIDX", data::skewed_indices(&mut rng, input as usize, codes, 256, 0.8), 4);
 
     let acc = b.scalar();
     b.loop_(input, |b, k| {

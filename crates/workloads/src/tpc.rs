@@ -95,9 +95,7 @@ pub fn tpcc(scale: Scale) -> Program {
                 });
             });
             b.stmt(|s| {
-                s.int(2)
-                    .write(olines, vec![at(t), field(0)])
-                    .write(olines, vec![at(t), field(4)]);
+                s.int(2).write(olines, vec![at(t), field(0)]).write(olines, vec![at(t), field(4)]);
             });
         });
         // Payment transactions (irregular, lighter): index walk plus
@@ -150,10 +148,12 @@ pub fn tpcd_q1(scale: Scale) -> Program {
     // Phase 2: irregular aggregation by group key.
     b.loop_(sz.lineitem, |b, i| {
         b.stmt(|s| {
-            s.read(derived, vec![at(i)])
-                .gather(agg, keys, AffineExpr::var(i), 0)
-                .fp(2)
-                .scatter(agg, keys, AffineExpr::var(i), 0);
+            s.read(derived, vec![at(i)]).gather(agg, keys, AffineExpr::var(i), 0).fp(2).scatter(
+                agg,
+                keys,
+                AffineExpr::var(i),
+                0,
+            );
         });
     });
     b.finish().expect("q1 is a valid program")
@@ -169,17 +169,11 @@ pub fn tpcd_q3(scale: Scale) -> Program {
     let orders = row_table(&mut b, "ORDERS", sz.orders);
     let hash_size = ((sz.orders * 2) as u64).next_power_of_two() as i64;
     let htab = b.array("HASH", &[hash_size], 8);
-    let ohash = b.data_array(
-        "OHASH",
-        data::uniform_indices(&mut rng, sz.orders as usize, hash_size),
-        4,
-    );
+    let ohash =
+        b.data_array("OHASH", data::uniform_indices(&mut rng, sz.orders as usize, hash_size), 4);
     let lineitem = row_table(&mut b, "LINEITEM", sz.lineitem);
-    let lhash = b.data_array(
-        "LHASH",
-        data::uniform_indices(&mut rng, sz.lineitem as usize, hash_size),
-        4,
-    );
+    let lhash =
+        b.data_array("LHASH", data::uniform_indices(&mut rng, sz.lineitem as usize, hash_size), 4);
     let result = b.array("RESULT", &[sz.lineitem], 8);
 
     // Build phase: scan orders (regular reads) + hash scatter (irregular,
@@ -259,12 +253,9 @@ mod tests {
 
     #[test]
     fn all_build_and_validate() {
-        for p in [
-            tpcc(Scale::Tiny),
-            tpcd_q1(Scale::Tiny),
-            tpcd_q3(Scale::Tiny),
-            tpcd_q6(Scale::Tiny),
-        ] {
+        for p in
+            [tpcc(Scale::Tiny), tpcd_q1(Scale::Tiny), tpcd_q3(Scale::Tiny), tpcd_q6(Scale::Tiny)]
+        {
             assert!(p.validate().is_ok(), "{} invalid", p.name);
             assert!(trace_len(&p) > 1000, "{} too small", p.name);
         }
@@ -272,12 +263,9 @@ mod tests {
 
     #[test]
     fn all_are_mixed() {
-        for p in [
-            tpcc(Scale::Tiny),
-            tpcd_q1(Scale::Tiny),
-            tpcd_q3(Scale::Tiny),
-            tpcd_q6(Scale::Tiny),
-        ] {
+        for p in
+            [tpcc(Scale::Tiny), tpcd_q1(Scale::Tiny), tpcd_q3(Scale::Tiny), tpcd_q6(Scale::Tiny)]
+        {
             let mut total = 0usize;
             let mut ana = 0usize;
             p.for_each_stmt(|s| {

@@ -20,10 +20,7 @@ fn memory_share_is_plausible() {
             }
         }
         let share = mem as f64 / total as f64;
-        assert!(
-            (0.15..0.75).contains(&share),
-            "{bm}: memory share {share:.2} out of band"
-        );
+        assert!((0.15..0.75).contains(&share), "{bm}: memory share {share:.2} out of band");
     }
 }
 
@@ -136,11 +133,8 @@ fn mixed_codes_alternate_phases() {
         // Count top-level-ish loop alternation through the item structure:
         // at least two loops inside the time loop.
         let outer = p.items[0].as_loop().expect("time loop");
-        let inner_loops = outer
-            .body
-            .iter()
-            .filter(|i| matches!(i, selcache_ir::Item::Loop(_)))
-            .count();
+        let inner_loops =
+            outer.body.iter().filter(|i| matches!(i, selcache_ir::Item::Loop(_))).count();
         assert!(inner_loops >= 2, "{bm}: expected alternating phases, got {inner_loops}");
     }
 }

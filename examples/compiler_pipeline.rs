@@ -58,7 +58,12 @@ fn main() {
         ),
         (
             "interchange + layout",
-            OptConfig { tile: false, scalar_replacement: false, pad: false, ..OptConfig::default() },
+            OptConfig {
+                tile: false,
+                scalar_replacement: false,
+                pad: false,
+                ..OptConfig::default()
+            },
         ),
         (
             "interchange + layout + scalar replacement",

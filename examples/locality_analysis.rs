@@ -37,9 +37,9 @@ fn analyze(bm: Benchmark) {
     // Miss-ratio curve at interesting cache sizes.
     let curve = reuse.miss_ratio_curve(&[
         8 * 1024,
-        32 * 1024,   // the machine's L1
+        32 * 1024, // the machine's L1
         128 * 1024,
-        512 * 1024,  // the machine's L2
+        512 * 1024, // the machine's L2
         2 * 1024 * 1024,
     ]);
     print!("  LRU miss-ratio curve:");

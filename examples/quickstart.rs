@@ -12,12 +12,12 @@ use selcache::workloads::{Benchmark, Scale};
 fn main() {
     let name = std::env::args().nth(1).unwrap_or_else(|| "Chaos".to_string());
     let benchmark = Benchmark::parse(&name).unwrap_or_else(|| {
-            eprintln!("unknown benchmark {name:?}; available:");
-            for b in Benchmark::ALL {
-                eprintln!("  {b}");
-            }
-            std::process::exit(1);
-        });
+        eprintln!("unknown benchmark {name:?}; available:");
+        for b in Benchmark::ALL {
+            eprintln!("  {b}");
+        }
+        std::process::exit(1);
+    });
 
     let machine = MachineConfig::base();
     println!("Table 1 base machine:");
@@ -58,7 +58,7 @@ fn main() {
         .collect();
     let results = exp.engine().run(&jobs);
 
-    let base = results[0];
+    let base = &results[0];
     println!(
         "  base      : {:>12} cycles  ({} instructions, L1 miss {:.1}%, L2 miss {:.1}%)",
         base.cycles,
@@ -71,7 +71,7 @@ fn main() {
             "  {:<10}: {:>12} cycles  ({:+.2}% vs base)",
             version.to_string().to_lowercase(),
             r.cycles,
-            r.improvement_over(&base)
+            r.improvement_over(base)
         );
     }
 }

@@ -7,9 +7,7 @@
 //! cargo run --example region_detection
 //! ```
 
-use selcache::compiler::{
-    analyze_loop, detect_and_mark_with, eliminate_redundant_markers,
-};
+use selcache::compiler::{analyze_loop, detect_and_mark_with, eliminate_redundant_markers};
 use selcache::ir::{pretty, AffineExpr, Item, ProgramBuilder, Subscript};
 
 fn main() {

@@ -32,7 +32,9 @@ fn main() -> std::io::Result<()> {
     );
 
     // Replay into two machines.
-    for (label, mem_latency) in [("base (100-cycle memory)", 100u64), ("slow (400-cycle memory)", 400)] {
+    for (label, mem_latency) in
+        [("base (100-cycle memory)", 100u64), ("slow (400-cycle memory)", 400)]
+    {
         let mut cfg = HierarchyConfig::paper_base(AssistKind::None);
         cfg.mem_latency = mem_latency;
         let mut mem = MemoryHierarchy::new(cfg);

@@ -46,9 +46,8 @@ fn preparation_preserves_fp_work() {
     for bm in [Benchmark::Chaos, Benchmark::TpcDQ1, Benchmark::Swim] {
         let base = bm.build(Scale::Tiny);
         let prepared = selective(&base, &opt);
-        let fp = |p: &selcache::ir::Program| {
-            Interp::new(p).filter(|o| o.kind == OpKind::FpAlu).count()
-        };
+        let fp =
+            |p: &selcache::ir::Program| Interp::new(p).filter(|o| o.kind == OpKind::FpAlu).count();
         assert_eq!(fp(&base), fp(&prepared), "{bm}: fp work changed");
     }
 }
@@ -65,9 +64,7 @@ fn markers_are_the_only_selective_overhead() {
         let sel = selective(&base, &opt);
         let count = |p: &selcache::ir::Program, markers: bool| {
             Interp::new(p)
-                .filter(|o| {
-                    matches!(o.kind, OpKind::AssistOn | OpKind::AssistOff) == markers
-                })
+                .filter(|o| matches!(o.kind, OpKind::AssistOn | OpKind::AssistOff) == markers)
                 .count()
         };
         let sw_non_marker = count(&sw, false);

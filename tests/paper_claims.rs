@@ -91,10 +91,7 @@ fn selective_beats_combined_on_average() {
     );
     let combined = suite.average(Version::Combined);
     let selective = suite.average(Version::Selective);
-    assert!(
-        selective > combined,
-        "selective {selective:.2}% should beat combined {combined:.2}%"
-    );
+    assert!(selective > combined, "selective {selective:.2}% should beat combined {combined:.2}%");
 }
 
 #[test]

@@ -4,9 +4,7 @@
 
 use proptest::prelude::*;
 use selcache::compiler::{insert_markers, optimize, OptConfig};
-use selcache::ir::{
-    AffineExpr, Interp, OpKind, Program, ProgramBuilder, Subscript, VarId,
-};
+use selcache::ir::{AffineExpr, Interp, OpKind, Program, ProgramBuilder, Subscript, VarId};
 
 /// Recipe for one random reference.
 #[derive(Debug, Clone)]
@@ -35,7 +33,12 @@ fn arb_ref(num_arrays: usize) -> impl Strategy<Value = RefRecipe> {
         prop::collection::vec((-2i64..=2, 0i64..3), 1..=2),
         prop::bool::weighted(0.25),
     )
-        .prop_map(|(array, write, coeffs, indexed)| RefRecipe { array, write, coeffs, indexed })
+        .prop_map(|(array, write, coeffs, indexed)| RefRecipe {
+            array,
+            write,
+            coeffs,
+            indexed,
+        })
 }
 
 fn arb_program() -> impl Strategy<Value = ProgramRecipe> {

@@ -41,11 +41,7 @@ fn regions_are_at_least_60_percent_pure() {
         region_purities(&p.items, &mut purities);
         assert!(!purities.is_empty(), "{bm}: no regions found");
         for (pref, purity) in &purities {
-            assert!(
-                *purity >= 0.6,
-                "{bm}: a {pref:?} region is only {:.0}% pure",
-                purity * 100.0
-            );
+            assert!(*purity >= 0.6, "{bm}: a {pref:?} region is only {:.0}% pure", purity * 100.0);
         }
     }
 }

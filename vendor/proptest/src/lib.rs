@@ -32,7 +32,8 @@ impl TestRng {
     /// Generator for one `(test, case)` pair.
     pub fn for_case(seed: u64, case: u32) -> TestRng {
         // Decorrelate cases: mix the case index through two rounds.
-        let mut rng = TestRng { state: seed ^ (u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15)) };
+        let mut rng =
+            TestRng { state: seed ^ (u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15)) };
         rng.next_u64();
         rng.next_u64();
         rng
@@ -528,9 +529,8 @@ mod tests {
 
     #[test]
     fn flat_map_feeds_intermediate_values() {
-        let strat = (1usize..4).prop_flat_map(|n| {
-            prop::collection::vec(0u32..100, n..=n).prop_map(move |v| (n, v))
-        });
+        let strat = (1usize..4)
+            .prop_flat_map(|n| prop::collection::vec(0u32..100, n..=n).prop_map(move |v| (n, v)));
         for case in 0..100 {
             let mut r = crate::TestRng::for_case(11, case);
             let (n, v) = crate::Strategy::generate(&strat, &mut r);
