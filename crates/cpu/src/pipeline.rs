@@ -29,15 +29,45 @@ struct Slot {
     pc: u64,
     region: RegionId,
     kind: OpKind,
-    dep_seq: Option<u64>,
     issued: bool,
     ready_at: u64,
     is_mem: bool,
 }
 
+/// Ready-queue record for one unissued op: everything the issue scan needs
+/// to decide "can this issue now?" without touching its RUU slot. Three
+/// entries fit in a cache line, so fruitless scans over a mostly-blocked
+/// window stay cheap.
+#[derive(Debug, Clone, Copy)]
+struct IssueEntry {
+    seq: u64,
+    /// Sequence number of the producing op, `u64::MAX` when independent.
+    dep_seq: u64,
+    class: UnitClass,
+}
+
 impl Slot {
     fn site(&self) -> Site {
         Site::new(self.pc, self.region)
+    }
+}
+
+/// Functional-unit class an op contends for; mirrors the `unit_free` check
+/// in [`Pipeline::issue`] exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum UnitClass {
+    Mem,
+    Int,
+    Fp,
+}
+
+impl UnitClass {
+    fn of(kind: OpKind) -> UnitClass {
+        match kind {
+            OpKind::Load(_) | OpKind::Store(_) => UnitClass::Mem,
+            OpKind::FpAlu => UnitClass::Fp,
+            _ => UnitClass::Int,
+        }
     }
 }
 
@@ -61,6 +91,24 @@ pub struct Pipeline {
     stats: CpuStatsProbe,
     ruu: VecDeque<Slot>,
     lsq_used: u32,
+    /// The ready queue: exactly the unissued ops, in sequence order. The
+    /// issue scan walks this compact array instead of the RUU, so issued
+    /// slots cost nothing and blocked candidates are rejected from a
+    /// 24-byte record instead of a full [`Slot`].
+    unissued_q: Vec<IssueEntry>,
+    /// Unissued RUU occupancy per functional-unit class; lets the issue scan
+    /// stop as soon as every class is saturated or drained.
+    unissued: [u32; 3],
+    /// `log2(fetch_block)` when the fetch-block size is a power of two
+    /// (`u32::MAX` otherwise): fetch-block numbering shifts instead of
+    /// dividing on every dispatched op.
+    fetch_shift: u32,
+    /// Earliest cycle the issue scan could find work after a fruitless scan:
+    /// the minimum completion time of the dependencies that blocked it,
+    /// lowered by fetch when it dispatches an op that could be ready sooner.
+    /// Until then the scan is skipped — nothing in the window can become
+    /// ready earlier, so the skipped scans would provably issue nothing.
+    issue_retry_at: u64,
     completion: Vec<u64>,
     cycle: u64,
     seq: u64,
@@ -86,6 +134,14 @@ impl Pipeline {
             stats: CpuStatsProbe::default(),
             ruu: VecDeque::with_capacity(cfg.ruu_entries as usize),
             lsq_used: 0,
+            unissued_q: Vec::with_capacity(cfg.ruu_entries as usize),
+            unissued: [0; 3],
+            fetch_shift: if cfg.fetch_block.is_power_of_two() {
+                cfg.fetch_block.trailing_zeros()
+            } else {
+                u32::MAX
+            },
+            issue_retry_at: 0,
             completion: vec![u64::MAX; RING],
             cycle: 0,
             seq: 0,
@@ -173,71 +229,111 @@ impl Pipeline {
     }
 
     fn issue<P: Probe>(&mut self, mem: &mut MemoryHierarchy, probe: &mut P) {
+        let Some(front_seq) = self.ruu.front().map(|s| s.seq) else {
+            return;
+        };
+        // After a fruitless scan, nothing in the window can become ready
+        // before the blocking dependencies complete (fetch lowers the bound
+        // when it dispatches an op that could be ready sooner); skip the
+        // provably empty rescans until then.
+        if self.cycle < self.issue_retry_at {
+            probe.issue_stall();
+            return;
+        }
         let in_order = self.cfg.model == CpuModel::InOrder;
         let mut issued = 0;
-        let mut mem_issued = 0;
-        let mut int_issued = 0;
-        let mut fp_issued = 0;
+        let mut next_ready = u64::MAX;
+        let mut unit_used = [0u32; 3];
+        let unit_limit = [self.cfg.mem_ports, self.cfg.int_units, self.cfg.fp_units];
         let cycle = self.cycle;
         let mut resolved_block: Option<u64> = None;
-        for slot in self.ruu.iter_mut() {
-            if issued == self.cfg.issue_width {
+        // Stop once every unit class is saturated or has no unissued
+        // candidate left anywhere in the window. The predicate only changes
+        // when an op issues, so it is re-evaluated there, not per slot.
+        let exhausted = |used: &[u32; 3], unissued: &[u32; 3]| {
+            (0..3).all(|c| used[c] >= unit_limit[c] || unissued[c] == 0)
+        };
+        let mut stop = exhausted(&unit_used, &self.unissued);
+        // Walk the ready queue in sequence order — the same candidates, in
+        // the same order, as a front-to-back RUU scan over unissued slots.
+        // Entries whose op issues are dropped by compacting in place; a
+        // break leaves the tail untouched for the next scan.
+        let mut q = std::mem::take(&mut self.unissued_q);
+        let mut read = 0;
+        let mut write = 0;
+        while read < q.len() {
+            if issued == self.cfg.issue_width || stop {
                 break;
             }
-            if slot.issued {
-                continue;
-            }
-            let deps_ready = match slot.dep_seq {
-                None => true,
-                Some(d) => self.completion[(d % RING as u64) as usize] <= cycle,
+            let entry = q[read];
+            let deps_ready = entry.dep_seq == u64::MAX || {
+                let done = self.completion[(entry.dep_seq % RING as u64) as usize];
+                if done > cycle {
+                    next_ready = next_ready.min(done);
+                }
+                done <= cycle
             };
             if !deps_ready {
                 if in_order {
                     break;
                 }
+                q[write] = entry;
+                write += 1;
+                read += 1;
                 continue;
             }
-            let unit_free = match slot.kind {
-                OpKind::Load(_) | OpKind::Store(_) => mem_issued < self.cfg.mem_ports,
-                OpKind::FpAlu => fp_issued < self.cfg.fp_units,
-                _ => int_issued < self.cfg.int_units,
-            };
-            if !unit_free {
+            let class = entry.class as usize;
+            if unit_used[class] >= unit_limit[class] {
                 if in_order {
                     break;
                 }
+                q[write] = entry;
+                write += 1;
+                read += 1;
                 continue;
             }
-            let latency = match slot.kind {
+            let idx = (entry.seq - front_seq) as usize;
+            let (kind, site) = {
+                let slot = &self.ruu[idx];
+                (slot.kind, slot.site())
+            };
+            let latency = match kind {
                 OpKind::IntAlu | OpKind::AssistOn | OpKind::AssistOff => self.cfg.int_latency,
                 OpKind::Branch { .. } => self.cfg.int_latency,
                 OpKind::FpAlu => self.cfg.fp_latency,
-                OpKind::Load(a) => {
-                    mem.data_access_probed(a, false, cycle, Site::new(slot.pc, slot.region), probe)
-                }
-                OpKind::Store(a) => {
-                    mem.data_access_probed(a, true, cycle, Site::new(slot.pc, slot.region), probe)
-                }
+                OpKind::Load(a) => mem.data_access_probed(a, false, cycle, site, probe),
+                OpKind::Store(a) => mem.data_access_probed(a, true, cycle, site, probe),
             };
+            let slot = &mut self.ruu[idx];
             slot.issued = true;
             slot.ready_at = cycle + latency;
-            self.completion[(slot.seq % RING as u64) as usize] = slot.ready_at;
-            match slot.kind {
-                OpKind::Load(_) | OpKind::Store(_) => mem_issued += 1,
-                OpKind::FpAlu => fp_issued += 1,
-                _ => int_issued += 1,
-            }
+            self.completion[(entry.seq % RING as u64) as usize] = cycle + latency;
+            unit_used[class] += 1;
+            self.unissued[class] -= 1;
+            stop = exhausted(&unit_used, &self.unissued);
             issued += 1;
-            if self.blocked_on == Some(slot.seq) {
-                resolved_block = Some(slot.ready_at + self.cfg.mispredict_penalty);
+            if self.blocked_on == Some(entry.seq) {
+                resolved_block = Some(cycle + latency + self.cfg.mispredict_penalty);
             }
+            read += 1;
         }
+        if write < read {
+            q.copy_within(read.., write);
+            q.truncate(q.len() - (read - write));
+        }
+        self.unissued_q = q;
         if let Some(resume) = resolved_block {
             self.blocked_on = None;
             self.fetch_resume = self.fetch_resume.max(resume);
         }
-        if issued == 0 && !self.ruu.is_empty() {
+        if issued == 0 {
             probe.issue_stall();
+            // Valid until fetch adds ops: every unissued slot waits (possibly
+            // transitively) on a dependency whose completion time was seen by
+            // this scan, so `next_ready` lower-bounds the next issue.
+            self.issue_retry_at = if next_ready == u64::MAX { cycle + 1 } else { next_ready };
+        } else {
+            self.issue_retry_at = 0;
         }
     }
 
@@ -272,7 +368,11 @@ impl Pipeline {
                 break;
             }
             // Instruction fetch for a new fetch block.
-            let fb = op.pc / self.cfg.fetch_block;
+            let fb = if self.fetch_shift < 64 {
+                op.pc >> self.fetch_shift
+            } else {
+                op.pc / self.cfg.fetch_block
+            };
             if fb != self.last_fetch_block {
                 self.last_fetch_block = fb;
                 let lat =
@@ -305,12 +405,35 @@ impl Pipeline {
                 Some(self.seq - op.dep as u64)
             };
             self.completion[(self.seq % RING as u64) as usize] = u64::MAX;
+            let class = UnitClass::of(op.kind);
+            self.unissued[class as usize] += 1;
+            self.unissued_q.push(IssueEntry {
+                seq: self.seq,
+                dep_seq: dep_seq.unwrap_or(u64::MAX),
+                class,
+            });
+            // A dispatched op may be issueable before the current retry
+            // bound: immediately if its dependency is absent or complete, at
+            // the dependency's completion when that is already known. A dep
+            // still waiting to issue cannot complete before the bound (it is
+            // itself covered by it), so it leaves the bound unchanged.
+            let ready_bound = match dep_seq {
+                None => self.cycle + 1,
+                Some(d) => {
+                    let done = self.completion[(d % RING as u64) as usize];
+                    if done == u64::MAX {
+                        u64::MAX
+                    } else {
+                        done.max(self.cycle + 1)
+                    }
+                }
+            };
+            self.issue_retry_at = self.issue_retry_at.min(ready_bound);
             self.ruu.push_back(Slot {
                 seq: self.seq,
                 pc: op.pc,
                 region: op.region,
                 kind: op.kind,
-                dep_seq,
                 issued: false,
                 ready_at: 0,
                 is_mem,

@@ -11,71 +11,47 @@
 //! then stores (depending on the last ALU op). This dependence shape is what
 //! lets the out-of-order model overlap independent misses while serializing
 //! pointer chases.
+//!
+//! Execution runs over a compiled [`Plan`] (see [`crate::plan`]): PCs,
+//! dependence distances, and in-bounds affine addresses are precomputed, so
+//! the per-op work here is arithmetic and slot reads, not hashing.
 
 use crate::expr::Subscript;
-use crate::ids::{Addr, ArrayId};
-use crate::program::{AddressMap, Item, Loop, Marker, Program, Ref, RefPattern, Stmt};
+use crate::ids::{Addr, VarId};
+use crate::plan::{GeneralRef, OpT, Plan, PlanNode, ROOT_OWNER};
+use crate::program::{AddressMap, Program, RefPattern, Trip};
 use crate::region::RegionMap;
-use crate::trace::{OpKind, TraceOp, SITE_BYTES, TEXT_BASE};
-use std::collections::{HashMap, VecDeque};
+use crate::trace::{OpKind, TraceOp};
+use std::collections::VecDeque;
 
-/// Maps static sites (statements, loops, markers) to synthetic PCs.
-///
-/// Keys are the node addresses inside the borrowed [`Program`]; the program
-/// is immutable for the lifetime of the interpreter, so node identity is
-/// stable.
-#[derive(Debug, Default)]
-struct PcMap {
-    sites: HashMap<usize, u64>,
+enum PlanHolder<'p> {
+    Owned(Box<Plan>),
+    Borrowed(&'p Plan),
 }
 
-impl PcMap {
-    fn build(program: &Program) -> Self {
-        let mut map = PcMap::default();
-        let mut next = 0u64;
-        fn walk(items: &[Item], map: &mut PcMap, next: &mut u64) {
-            for item in items {
-                match item {
-                    Item::Loop(l) => {
-                        map.sites.insert(l as *const Loop as usize, TEXT_BASE + *next * SITE_BYTES);
-                        *next += 1;
-                        walk(&l.body, map, next);
-                    }
-                    Item::Block(stmts) => {
-                        for s in stmts {
-                            map.sites
-                                .insert(s as *const Stmt as usize, TEXT_BASE + *next * SITE_BYTES);
-                            *next += 1;
-                        }
-                    }
-                    Item::Marker(_) => {
-                        map.sites
-                            .insert(item as *const Item as usize, TEXT_BASE + *next * SITE_BYTES);
-                        *next += 1;
-                    }
-                }
-            }
+enum Frame {
+    /// Iterating the item list owned by loop node `owner` (or the program
+    /// roots when `owner` is [`ROOT_OWNER`]).
+    Items {
+        owner: u32,
+        pos: u32,
+    },
+    Loop {
+        node: u32,
+        iter: i64,
+        trip: i64,
+    },
+}
+
+/// Resolves the plan reference without borrowing any other field of the
+/// interpreter (a method receiver would).
+macro_rules! plan {
+    ($self:expr) => {
+        match &$self.plan {
+            PlanHolder::Owned(p) => &**p,
+            PlanHolder::Borrowed(p) => *p,
         }
-        walk(&program.items, &mut map, &mut next);
-        map
-    }
-
-    fn of_loop(&self, l: &Loop) -> u64 {
-        self.sites[&(l as *const Loop as usize)]
-    }
-
-    fn of_stmt(&self, s: &Stmt) -> u64 {
-        self.sites[&(s as *const Stmt as usize)]
-    }
-
-    fn of_item(&self, i: &Item) -> u64 {
-        self.sites[&(i as *const Item as usize)]
-    }
-}
-
-enum Frame<'p> {
-    Items { items: &'p [Item], pos: usize },
-    Loop { lp: &'p Loop, iter: i64, trip: i64 },
+    };
 }
 
 /// Streaming trace generator over a borrowed [`Program`].
@@ -94,15 +70,18 @@ enum Frame<'p> {
 /// ```
 pub struct Interp<'p> {
     program: &'p Program,
-    amap: AddressMap,
+    plan: PlanHolder<'p>,
     env: Vec<i64>,
-    frames: Vec<Frame<'p>>,
+    /// Current byte address of each affine slot; bumped by per-variable
+    /// strides whenever a loop writes its induction variable.
+    slots: Vec<i64>,
+    /// Pointer-chase cursors in plan-assigned dense slots; a chain's cursor
+    /// persists across statements, modelling a walk over a linked structure.
+    chase: Vec<i64>,
+    frames: Vec<Frame>,
     pending: VecDeque<TraceOp>,
-    pcs: PcMap,
-    /// Pointer-chase cursors, keyed by (heap, next-table) pair; a chain's
-    /// cursor persists across statements, modelling a walk over a linked
-    /// structure.
-    chase: HashMap<(ArrayId, ArrayId), i64>,
+    /// Reusable buffer for resolution-load addresses.
+    scratch: Vec<Addr>,
     emitted: u64,
     regions: Option<&'p RegionMap>,
 }
@@ -110,20 +89,39 @@ pub struct Interp<'p> {
 impl<'p> Interp<'p> {
     /// Creates an interpreter with the program's default address map.
     pub fn new(program: &'p Program) -> Self {
-        Self::with_address_map(program, program.address_map())
+        Self::from_holder(program, PlanHolder::Owned(Box::new(Plan::compile(program))))
     }
 
     /// Creates an interpreter with an explicit address map (for experiments
     /// that relocate arrays).
     pub fn with_address_map(program: &'p Program, amap: AddressMap) -> Self {
+        Self::from_holder(program, PlanHolder::Owned(Box::new(Plan::compile_with(program, amap))))
+    }
+
+    /// Creates an interpreter over a pre-compiled [`Plan`], sharing one
+    /// compilation across sizing ([`Plan::trace_len`]) and streaming runs.
+    ///
+    /// The plan must have been compiled from `program` in its current state.
+    pub fn with_plan(program: &'p Program, plan: &'p Plan) -> Self {
+        Self::from_holder(program, PlanHolder::Borrowed(plan))
+    }
+
+    fn from_holder(program: &'p Program, plan: PlanHolder<'p>) -> Self {
+        let p = match &plan {
+            PlanHolder::Owned(p) => &**p,
+            PlanHolder::Borrowed(p) => *p,
+        };
+        let slots = p.slot_init.clone();
+        let chase = vec![0; p.num_chase as usize];
         Interp {
             program,
-            amap,
+            plan,
             env: vec![0; program.num_vars as usize],
-            frames: vec![Frame::Items { items: &program.items, pos: 0 }],
+            slots,
+            chase,
+            frames: vec![Frame::Items { owner: ROOT_OWNER, pos: 0 }],
             pending: VecDeque::with_capacity(64),
-            pcs: PcMap::build(program),
-            chase: HashMap::new(),
+            scratch: Vec::new(),
             emitted: 0,
             regions: None,
         }
@@ -142,25 +140,45 @@ impl<'p> Interp<'p> {
         self.emitted
     }
 
-    fn push(&mut self, op: TraceOp) {
-        self.pending.push_back(op);
+    /// Writes an induction variable and bumps every affine slot whose
+    /// address depends on it by `delta * stride` — the loop-latch increment
+    /// that replaces per-access subscript evaluation.
+    fn set_var(&mut self, var: VarId, value: i64) {
+        let old = std::mem::replace(&mut self.env[var.index()], value);
+        let delta = value - old;
+        if delta == 0 {
+            return;
+        }
+        let plan = plan!(self);
+        for &(slot, coeff) in &plan.var_slots[var.index()] {
+            self.slots[slot as usize] += delta * coeff;
+        }
     }
 
     /// Advances the tree walk until at least one op is pending or the walk is
     /// complete. Returns false when complete and nothing is pending.
     fn refill(&mut self) -> bool {
         while self.pending.is_empty() {
+            let plan = plan!(self);
             // Copy out what the next step needs so no frame borrow lives
             // across the emission calls below.
-            let next: Option<&'p Item> = match self.frames.last_mut() {
+            let next: Option<u32> = match self.frames.last_mut() {
                 None => return false,
-                Some(Frame::Items { items, pos }) => {
-                    if *pos >= items.len() {
+                Some(Frame::Items { owner, pos }) => {
+                    let list: &[u32] = if *owner == ROOT_OWNER {
+                        &plan.roots
+                    } else {
+                        match &plan.nodes[*owner as usize] {
+                            PlanNode::Loop { body, .. } => body,
+                            _ => unreachable!("items frame owned by non-loop node"),
+                        }
+                    };
+                    if *pos as usize >= list.len() {
                         None
                     } else {
-                        let item = &items[*pos];
+                        let node = list[*pos as usize];
                         *pos += 1;
-                        Some(item)
+                        Some(node)
                     }
                 }
                 // A loop frame is always covered by an Items frame for its
@@ -172,197 +190,198 @@ impl<'p> Interp<'p> {
                     self.frames.pop();
                     self.finish_loop_iteration();
                 }
-                Some(item) => match item {
-                    Item::Block(stmts) => {
-                        for s in stmts {
-                            self.expand_stmt(s);
-                        }
+                Some(ni) => match &plan.nodes[ni as usize] {
+                    PlanNode::Stmt { ops } => exec_stmt(
+                        self.program,
+                        plan,
+                        &self.env,
+                        &self.slots,
+                        &mut self.chase,
+                        &mut self.scratch,
+                        &mut self.pending,
+                        ops,
+                    ),
+                    PlanNode::Marker { pc, on } => {
+                        let kind = if *on { OpKind::AssistOn } else { OpKind::AssistOff };
+                        self.pending.push_back(TraceOp::new(*pc, kind));
                     }
-                    Item::Marker(m) => {
-                        let pc = self.pcs.of_item(item);
-                        let kind = match m {
-                            Marker::On => OpKind::AssistOn,
-                            Marker::Off => OpKind::AssistOff,
-                        };
-                        self.push(TraceOp::new(pc, kind));
+                    PlanNode::Loop { pc, var, trip, .. } => {
+                        let (pc, var, trip) = (*pc, *var, *trip);
+                        self.enter_loop(ni, pc, var, trip);
                     }
-                    Item::Loop(l) => self.enter_loop(l),
                 },
             }
         }
         true
     }
 
-    fn enter_loop(&mut self, l: &'p Loop) {
-        let pc = self.pcs.of_loop(l);
-        let trip = l.trip.eval(&self.env);
+    fn enter_loop(&mut self, node: u32, pc: u64, var: VarId, trip_spec: Trip) {
+        let trip = trip_spec.eval(&self.env);
         // Index initialization.
-        self.push(TraceOp::new(pc, OpKind::IntAlu));
+        self.pending.push_back(TraceOp::new(pc, OpKind::IntAlu));
         if trip <= 0 {
             // Loop test fails immediately: one not-taken branch.
-            self.push(TraceOp::with_dep(pc + 8, OpKind::Branch { taken: false }, 1));
+            self.pending.push_back(TraceOp::with_dep(pc + 8, OpKind::Branch { taken: false }, 1));
             return;
         }
-        self.env[l.var.index()] = 0;
-        self.frames.push(Frame::Loop { lp: l, iter: 0, trip });
-        self.frames.push(Frame::Items { items: &l.body, pos: 0 });
+        self.set_var(var, 0);
+        self.frames.push(Frame::Loop { node, iter: 0, trip });
+        self.frames.push(Frame::Items { owner: node, pos: 0 });
     }
 
     /// Called when an `Items` frame is exhausted; if the frame below is a
     /// loop, emit the latch and either restart the body or pop the loop.
     fn finish_loop_iteration(&mut self) {
-        let (lp, taken, new_iter) = match self.frames.last_mut() {
-            Some(Frame::Loop { lp, iter, trip }) => {
+        let (node, taken, new_iter) = match self.frames.last_mut() {
+            Some(Frame::Loop { node, iter, trip }) => {
                 *iter += 1;
-                (*lp, *iter < *trip, *iter)
+                (*node, *iter < *trip, *iter)
             }
             _ => return,
         };
-        let pc = self.pcs.of_loop(lp);
+        let (pc, var) = match &plan!(self).nodes[node as usize] {
+            PlanNode::Loop { pc, var, .. } => (*pc, *var),
+            _ => unreachable!("loop frame points at non-loop node"),
+        };
         // Index increment + backward branch.
-        self.push(TraceOp::new(pc + 4, OpKind::IntAlu));
-        self.push(TraceOp::with_dep(pc + 8, OpKind::Branch { taken }, 1));
+        self.pending.push_back(TraceOp::new(pc + 4, OpKind::IntAlu));
+        self.pending.push_back(TraceOp::with_dep(pc + 8, OpKind::Branch { taken }, 1));
         if taken {
-            self.env[lp.var.index()] = new_iter;
-            self.frames.push(Frame::Items { items: &lp.body, pos: 0 });
+            self.set_var(var, new_iter);
+            self.frames.push(Frame::Items { owner: node, pos: 0 });
         } else {
             self.frames.pop();
         }
     }
+}
 
-    fn expand_stmt(&mut self, stmt: &Stmt) {
-        let pc = self.pcs.of_stmt(stmt);
-        let mut slot = 0u64;
-        let mut next_pc = |slot: &mut u64| {
-            let p = pc + (*slot).min(15) * 4;
-            *slot += 1;
-            p
-        };
-
-        let mut last_load: Option<usize> = None;
-        // Loads first.
-        for r in stmt.refs.iter().filter(|r| !r.write) {
-            let idx = self.emit_access(r, &mut slot, &mut next_pc);
-            last_load = Some(idx);
-        }
-        // ALU chain.
-        let mut last_alu: Option<usize> = None;
-        let total_alu = stmt.int_ops as usize + stmt.fp_ops as usize;
-        for k in 0..total_alu {
-            let kind = if k < stmt.int_ops as usize { OpKind::IntAlu } else { OpKind::FpAlu };
-            let dep =
-                if k == 0 { last_load.map_or(0, |i| (self.pending.len() - i) as u16) } else { 1 };
-            let p = next_pc(&mut slot);
-            self.push(TraceOp::with_dep(p, kind, dep));
-            last_alu = Some(self.pending.len() - 1);
-        }
-        // Stores last.
-        let producer = last_alu.or(last_load);
-        for r in stmt.refs.iter().filter(|r| r.write) {
-            let (addr, resolution) = self.resolve(&r.pattern);
-            let mut store_dep_src = producer;
-            for res_addr in resolution {
-                let p = next_pc(&mut slot);
-                self.push(TraceOp::new(p, OpKind::Load(res_addr)));
-                store_dep_src = Some(self.pending.len() - 1);
+/// Emits a compiled statement's ops into the pending buffer.
+///
+/// A free function over the interpreter's disjoint fields so the plan borrow
+/// can live alongside the mutable pending/chase borrows.
+#[allow(clippy::too_many_arguments)]
+fn exec_stmt(
+    program: &Program,
+    plan: &Plan,
+    env: &[i64],
+    slots: &[i64],
+    chase: &mut [i64],
+    scratch: &mut Vec<Addr>,
+    pending: &mut VecDeque<TraceOp>,
+    ops: &[OpT],
+) {
+    for op in ops {
+        match *op {
+            OpT::Plain { pc, kind, dep } => pending.push_back(TraceOp::with_dep(pc, kind, dep)),
+            OpT::LoadSlot { pc, dep, slot } => {
+                let addr = Addr(slots[slot as usize] as u64);
+                pending.push_back(TraceOp::with_dep(pc, OpKind::Load(addr), dep));
             }
-            let dep =
-                store_dep_src.map_or(0, |i| (self.pending.len() - i).min(u16::MAX as usize) as u16);
-            let p = next_pc(&mut slot);
-            self.push(TraceOp::with_dep(p, OpKind::Store(addr), dep));
-        }
-    }
-
-    /// Emits the load(s) for a read reference, returning the pending-buffer
-    /// index of the final (value-producing) load.
-    fn emit_access(
-        &mut self,
-        r: &Ref,
-        slot: &mut u64,
-        next_pc: &mut impl FnMut(&mut u64) -> u64,
-    ) -> usize {
-        let (addr, resolution) = self.resolve(&r.pattern);
-        let mut dep = 0u16;
-        for res_addr in resolution {
-            let p = next_pc(slot);
-            self.push(TraceOp::with_dep(p, OpKind::Load(res_addr), dep));
-            dep = 1; // the next access depends on this resolution load
-        }
-        let p = next_pc(slot);
-        self.push(TraceOp::with_dep(p, OpKind::Load(addr), dep));
-        self.pending.len() - 1
-    }
-
-    /// Computes the final data address of a reference and any resolution
-    /// loads (index-array reads, pointer next-table reads) that precede it.
-    fn resolve(&mut self, pattern: &RefPattern) -> (Addr, Vec<Addr>) {
-        match pattern {
-            RefPattern::Scalar(s) => (self.amap.scalar_addr(*s), Vec::new()),
-            RefPattern::Array { array, subscripts } => {
-                let decl = &self.program.arrays[array.index()];
-                let mut resolution = Vec::new();
-                let mut coords = Vec::with_capacity(subscripts.len());
-                for s in subscripts {
-                    coords.push(self.eval_subscript(s, &mut resolution));
-                }
-                let off = decl.linearize(&coords);
-                (self.amap.array_base(*array).offset(off as u64 * decl.elem_size), resolution)
+            OpT::StoreSlot { pc, dep, slot } => {
+                let addr = Addr(slots[slot as usize] as u64);
+                pending.push_back(TraceOp::with_dep(pc, OpKind::Store(addr), dep));
             }
-            RefPattern::Pointer { heap, next, field_offset } => {
-                let heap_decl = &self.program.arrays[heap.index()];
-                let next_decl = &self.program.arrays[next.index()];
-                let next_data = next_decl.data.as_ref().expect("validated next-table data");
-                let cursor = self.chase.entry((*heap, *next)).or_insert(0);
-                let node = (*cursor).rem_euclid(heap_decl.len().max(1));
-                let next_addr = self.amap.array_base(*next).offset(
-                    node.rem_euclid(next_data.len().max(1) as i64) as u64 * next_decl.elem_size,
-                );
-                let field = (*field_offset).clamp(0, heap_decl.elem_size.saturating_sub(1) as i64);
-                let node_addr = self
-                    .amap
-                    .array_base(*heap)
-                    .offset(node as u64 * heap_decl.elem_size + field as u64);
-                *cursor = next_data[node.rem_euclid(next_data.len().max(1) as i64) as usize];
-                (node_addr, vec![next_addr])
-            }
-            RefPattern::StructField { array, index, field_offset } => {
-                let decl = &self.program.arrays[array.index()];
-                let idx = index.eval(&self.env).rem_euclid(decl.len().max(1));
-                let field = (*field_offset).clamp(0, decl.elem_size.saturating_sub(1) as i64);
-                (
-                    self.amap.array_base(*array).offset(idx as u64 * decl.elem_size + field as u64),
-                    Vec::new(),
-                )
-            }
-        }
-    }
-
-    fn eval_subscript(&self, s: &Subscript, resolution: &mut Vec<Addr>) -> i64 {
-        let v = |id: crate::ids::VarId| self.env.get(id.index()).copied().unwrap_or(0);
-        match s {
-            Subscript::Affine(e) => e.eval(&self.env),
-            Subscript::Product(a, b) => v(*a) * v(*b),
-            Subscript::Square(a) => v(*a) * v(*a),
-            Subscript::Quotient(a, b) => {
-                let d = v(*b);
-                if d == 0 {
-                    0
+            OpT::General(gi) => {
+                let g = &plan.generals[gi as usize];
+                scratch.clear();
+                let addr = resolve_general(program, &plan.amap, env, chase, g, scratch);
+                let n = scratch.len();
+                if g.write {
+                    for (i, &ra) in scratch.iter().enumerate() {
+                        pending.push_back(TraceOp::new(g.pcs[i], OpKind::Load(ra)));
+                    }
+                    let dep = if n == 0 { g.bare_dep } else { 1 };
+                    pending.push_back(TraceOp::with_dep(g.pcs[n], OpKind::Store(addr), dep));
                 } else {
-                    v(*a) / d
+                    let mut dep = 0u16;
+                    for (i, &ra) in scratch.iter().enumerate() {
+                        pending.push_back(TraceOp::with_dep(g.pcs[i], OpKind::Load(ra), dep));
+                        dep = 1; // the next access depends on this resolution load
+                    }
+                    pending.push_back(TraceOp::with_dep(g.pcs[n], OpKind::Load(addr), dep));
                 }
             }
-            Subscript::Modulo(a, m) => {
-                debug_assert!(*m > 0, "modulus must be positive");
-                v(*a).rem_euclid((*m).max(1))
+        }
+    }
+}
+
+/// Computes the final data address of a general reference, pushing any
+/// resolution-load addresses (index-array reads, pointer next-table reads)
+/// into `resolution`.
+fn resolve_general(
+    program: &Program,
+    amap: &AddressMap,
+    env: &[i64],
+    chase: &mut [i64],
+    g: &GeneralRef,
+    resolution: &mut Vec<Addr>,
+) -> Addr {
+    match &g.pattern {
+        RefPattern::Scalar(s) => amap.scalar_addr(*s),
+        RefPattern::Array { array, subscripts } => {
+            let decl = &program.arrays[array.index()];
+            let mut coords = Vec::with_capacity(subscripts.len());
+            for s in subscripts {
+                coords.push(eval_subscript(program, amap, env, s, resolution));
             }
-            Subscript::Indexed { index_array, index, offset } => {
-                let decl = &self.program.arrays[index_array.index()];
-                let data = decl.data.as_ref().expect("validated index data");
-                let pos = index.eval(&self.env).rem_euclid(data.len().max(1) as i64);
-                resolution
-                    .push(self.amap.array_base(*index_array).offset(pos as u64 * decl.elem_size));
-                data[pos as usize] + offset
+            let off = decl.linearize(&coords);
+            amap.array_base(*array).offset(off as u64 * decl.elem_size)
+        }
+        RefPattern::Pointer { heap, next, field_offset } => {
+            let heap_decl = &program.arrays[heap.index()];
+            let next_decl = &program.arrays[next.index()];
+            let next_data = next_decl.data.as_ref().expect("validated next-table data");
+            let cursor = &mut chase[g.chase_slot as usize];
+            let node = (*cursor).rem_euclid(heap_decl.len().max(1));
+            let next_addr = amap.array_base(*next).offset(
+                node.rem_euclid(next_data.len().max(1) as i64) as u64 * next_decl.elem_size,
+            );
+            let field = (*field_offset).clamp(0, heap_decl.elem_size.saturating_sub(1) as i64);
+            let node_addr =
+                amap.array_base(*heap).offset(node as u64 * heap_decl.elem_size + field as u64);
+            *cursor = next_data[node.rem_euclid(next_data.len().max(1) as i64) as usize];
+            resolution.push(next_addr);
+            node_addr
+        }
+        RefPattern::StructField { array, index, field_offset } => {
+            let decl = &program.arrays[array.index()];
+            let idx = index.eval(env).rem_euclid(decl.len().max(1));
+            let field = (*field_offset).clamp(0, decl.elem_size.saturating_sub(1) as i64);
+            amap.array_base(*array).offset(idx as u64 * decl.elem_size + field as u64)
+        }
+    }
+}
+
+fn eval_subscript(
+    program: &Program,
+    amap: &AddressMap,
+    env: &[i64],
+    s: &Subscript,
+    resolution: &mut Vec<Addr>,
+) -> i64 {
+    let v = |id: crate::ids::VarId| env.get(id.index()).copied().unwrap_or(0);
+    match s {
+        Subscript::Affine(e) => e.eval(env),
+        Subscript::Product(a, b) => v(*a) * v(*b),
+        Subscript::Square(a) => v(*a) * v(*a),
+        Subscript::Quotient(a, b) => {
+            let d = v(*b);
+            if d == 0 {
+                0
+            } else {
+                v(*a) / d
             }
+        }
+        Subscript::Modulo(a, m) => {
+            debug_assert!(*m > 0, "modulus must be positive");
+            v(*a).rem_euclid((*m).max(1))
+        }
+        Subscript::Indexed { index_array, index, offset } => {
+            let decl = &program.arrays[index_array.index()];
+            let data = decl.data.as_ref().expect("validated index data");
+            let pos = index.eval(env).rem_euclid(data.len().max(1) as i64);
+            resolution.push(amap.array_base(*index_array).offset(pos as u64 * decl.elem_size));
+            data[pos as usize] + offset
         }
     }
 }
@@ -397,6 +416,7 @@ mod tests {
     use crate::builder::ProgramBuilder;
     use crate::expr::AffineExpr;
     use crate::ids::VarId;
+    use crate::program::Marker;
 
     fn simple_sweep(n: i64) -> Program {
         let mut b = ProgramBuilder::new("sweep");
@@ -613,5 +633,17 @@ mod tests {
         let p = b.finish().unwrap();
         let loads = Interp::new(&p).filter(|o| o.kind.is_mem()).count();
         assert_eq!(loads, 2);
+    }
+
+    #[test]
+    fn shared_plan_matches_owned_compilation() {
+        let p = simple_sweep(6);
+        let plan = Plan::compile(&p);
+        let shared: Vec<_> = Interp::with_plan(&p, &plan).collect();
+        let owned: Vec<_> = Interp::new(&p).collect();
+        assert_eq!(shared, owned);
+        // One compilation serves both sizing and a fresh streaming pass.
+        assert_eq!(plan.trace_len(&p), shared.len() as u64);
+        assert_eq!(Interp::with_plan(&p, &plan).count(), shared.len());
     }
 }

@@ -43,6 +43,7 @@ mod builder;
 mod expr;
 mod ids;
 mod interp;
+mod plan;
 mod pretty;
 mod program;
 mod region;
@@ -53,6 +54,7 @@ pub use builder::{ProgramBuilder, StmtBuilder};
 pub use expr::{AffineExpr, Subscript};
 pub use ids::{Addr, ArrayId, LoopId, RegionId, ScalarId, VarId};
 pub use interp::{trace_len, Interp};
+pub use plan::Plan;
 pub use pretty::pretty;
 pub use program::{
     AddressMap, ArrayDecl, Item, Layout, Loop, Marker, Program, ProgramError, Ref, RefPattern,

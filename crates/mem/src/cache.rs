@@ -2,8 +2,8 @@
 
 use crate::lru::LruSet;
 use crate::stats::{CacheStats, MissClass};
+use crate::table::PagedBits;
 use selcache_ir::Addr;
-use std::collections::HashSet;
 
 /// Replacement policy for a set-associative cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -101,7 +101,22 @@ pub struct Eviction {
 #[derive(Debug, Clone)]
 pub struct Cache {
     cfg: CacheConfig,
-    sets: Vec<Vec<Line>>,
+    /// All lines in one contiguous allocation, set-major: set `s` occupies
+    /// `lines[s * assoc .. (s + 1) * assoc]`.
+    lines: Box<[Line]>,
+    /// Per-set hint of the most-recently-touched way, checked before the
+    /// associative scan on lookups.
+    mru: Box<[u32]>,
+    /// Cached geometry (avoids re-deriving divisions per access).
+    num_sets: u64,
+    /// `num_sets - 1` when the set count is a power of two (the common
+    /// case); set indexing then masks instead of dividing.
+    set_mask: u64,
+    set_pow2: bool,
+    /// `log2(block_size)`; block size is always a power of two, so block
+    /// numbers are computed with a shift.
+    block_shift: u32,
+    assoc: usize,
     /// Tree-PLRU direction bits per set (used when the policy is
     /// [`Replacement::Plru`]).
     plru: Vec<u64>,
@@ -111,7 +126,7 @@ pub struct Cache {
     /// classification.
     shadow: Option<LruSet>,
     /// Blocks ever referenced (compulsory-miss detection).
-    seen: HashSet<u64>,
+    seen: PagedBits,
     rng: u64,
 }
 
@@ -135,12 +150,18 @@ impl Cache {
         let sets = cfg.num_sets();
         Cache {
             cfg,
-            sets: vec![vec![Line::default(); cfg.assoc as usize]; sets as usize],
+            lines: vec![Line::default(); (sets * cfg.assoc as u64) as usize].into_boxed_slice(),
+            mru: vec![0; sets as usize].into_boxed_slice(),
+            num_sets: sets,
+            set_mask: sets.wrapping_sub(1),
+            set_pow2: sets.is_power_of_two(),
+            block_shift: cfg.block_size.trailing_zeros(),
+            assoc: cfg.assoc as usize,
             plru: vec![0; sets as usize],
             stamp: 0,
             stats: CacheStats::default(),
             shadow: classify.then(|| LruSet::new(cfg.num_lines() as usize)),
-            seen: HashSet::new(),
+            seen: PagedBits::new(),
             rng: 0x9E37_79B9_7F4A_7C15,
         }
     }
@@ -156,12 +177,25 @@ impl Cache {
     }
 
     /// Block number of an address under this cache's block size.
+    #[inline]
     pub fn block_of(&self, addr: Addr) -> u64 {
-        addr.block(self.cfg.block_size)
+        addr.0 >> self.block_shift
     }
 
+    /// Set index of a block (mask when the set count is a power of two).
+    #[inline]
     fn set_index(&self, block: u64) -> usize {
-        (block % self.cfg.num_sets()) as usize
+        if self.set_pow2 {
+            (block & self.set_mask) as usize
+        } else {
+            (block % self.num_sets) as usize
+        }
+    }
+
+    /// The lines of set `si` within the flat array.
+    #[inline]
+    fn set(&self, si: usize) -> &[Line] {
+        &self.lines[si * self.assoc..(si + 1) * self.assoc]
     }
 
     /// Looks up `block`, updating recency, statistics, and classification
@@ -171,14 +205,27 @@ impl Cache {
         self.stamp += 1;
         self.stats.accesses += 1;
         let si = self.set_index(block);
+        let base = si * self.assoc;
         let stamp = self.stamp;
         let is_lru = self.cfg.replacement == Replacement::Lru;
-        if let Some(way) = self.sets[si].iter().position(|l| l.valid && l.block == block) {
-            let line = &mut self.sets[si][way];
+        // MRU-way fast path: a block lives in at most one way, so a hint
+        // match is the same way the associative scan would find.
+        let hint = self.mru[si] as usize;
+        let way = {
+            let set = &self.lines[base..base + self.assoc];
+            if set[hint].valid && set[hint].block == block {
+                Some(hint)
+            } else {
+                set.iter().position(|l| l.valid && l.block == block)
+            }
+        };
+        if let Some(way) = way {
+            let line = &mut self.lines[base + way];
             if is_lru {
                 line.stamp = stamp;
             }
             line.dirty |= write;
+            self.mru[si] = way as u32;
             self.stats.hits += 1;
             if self.cfg.replacement == Replacement::Plru {
                 self.plru_touch(si, way);
@@ -194,13 +241,11 @@ impl Cache {
     }
 
     fn classify(&mut self, block: u64) -> MissClass {
-        let first_touch = self.seen.insert(block);
+        let first_touch = self.seen.set(block);
+        // One shadow touch per miss: the probing insert reports prior
+        // membership and refreshes recency in a single lookup.
         let shadow_hit = match &mut self.shadow {
-            Some(shadow) => {
-                let hit = shadow.contains(block);
-                shadow.insert(block, false);
-                hit
-            }
+            Some(shadow) => shadow.insert_probe(block, false).0,
             None => false,
         };
         if first_touch {
@@ -215,7 +260,7 @@ impl Cache {
     /// Probes for `block` without changing any state.
     pub fn probe(&self, block: u64) -> bool {
         let si = self.set_index(block);
-        self.sets[si].iter().any(|l| l.valid && l.block == block)
+        self.set(si).iter().any(|l| l.valid && l.block == block)
     }
 
     /// Allocates `block`, evicting a line if the set is full. Records a
@@ -223,9 +268,12 @@ impl Cache {
     pub fn fill(&mut self, block: u64, dirty: bool) -> Option<Eviction> {
         self.stamp += 1;
         let si = self.set_index(block);
+        let base = si * self.assoc;
         let stamp = self.stamp;
         let is_lru = self.cfg.replacement == Replacement::Lru;
-        if let Some(line) = self.sets[si].iter_mut().find(|l| l.valid && l.block == block) {
+        if let Some(line) =
+            self.lines[base..base + self.assoc].iter_mut().find(|l| l.valid && l.block == block)
+        {
             line.dirty |= dirty;
             if is_lru {
                 line.stamp = stamp;
@@ -233,7 +281,7 @@ impl Cache {
             return None;
         }
         let way = self.choose_victim(si);
-        let line = &mut self.sets[si][way];
+        let line = &mut self.lines[base + way];
         let evicted = line.valid.then_some(Eviction { block: line.block, dirty: line.dirty });
         if let Some(e) = evicted {
             if e.dirty {
@@ -241,6 +289,7 @@ impl Cache {
             }
         }
         *line = Line { block, valid: true, dirty, stamp };
+        self.mru[si] = way as u32;
         if self.cfg.replacement == Replacement::Plru {
             self.plru_touch(si, way);
         }
@@ -250,14 +299,14 @@ impl Cache {
     /// The block that a fill of `block` would evict, without filling.
     pub fn victim_for(&self, block: u64) -> Option<Eviction> {
         let si = self.set_index(block);
-        if self.sets[si].iter().any(|l| l.valid && l.block == block) {
+        let set = self.set(si);
+        if set.iter().any(|l| l.valid && l.block == block) {
             return None;
         }
-        if self.sets[si].iter().any(|l| !l.valid) {
+        if set.iter().any(|l| !l.valid) {
             return None;
         }
-        let way = self.peek_victim(si);
-        let line = &self.sets[si][way];
+        let line = &self.set(si)[self.peek_victim(si)];
         Some(Eviction { block: line.block, dirty: line.dirty })
     }
 
@@ -265,11 +314,11 @@ impl Cache {
         // Deterministic preview matching choose_victim for LRU/FIFO; for
         // Random the preview is the oldest line (an approximation used only
         // by assist decision logic).
-        self.sets[si].iter().enumerate().min_by_key(|(_, l)| l.stamp).map(|(i, _)| i).unwrap_or(0)
+        self.set(si).iter().enumerate().min_by_key(|(_, l)| l.stamp).map(|(i, _)| i).unwrap_or(0)
     }
 
     fn choose_victim(&mut self, si: usize) -> usize {
-        if let Some(way) = self.sets[si].iter().position(|l| !l.valid) {
+        if let Some(way) = self.set(si).iter().position(|l| !l.valid) {
             return way;
         }
         match self.cfg.replacement {
@@ -327,15 +376,16 @@ impl Cache {
 
     /// Removes `block`, returning its dirty bit if it was present.
     pub fn invalidate(&mut self, block: u64) -> Option<bool> {
-        let si = self.set_index(block);
-        let line = self.sets[si].iter_mut().find(|l| l.valid && l.block == block)?;
+        let base = self.set_index(block) * self.assoc;
+        let line =
+            self.lines[base..base + self.assoc].iter_mut().find(|l| l.valid && l.block == block)?;
         line.valid = false;
         Some(line.dirty)
     }
 
     /// Number of valid lines currently resident.
     pub fn resident(&self) -> usize {
-        self.sets.iter().flatten().filter(|l| l.valid).count()
+        self.lines.iter().filter(|l| l.valid).count()
     }
 }
 
@@ -542,6 +592,32 @@ mod tests {
             block_size: 32,
             replacement: Replacement::Plru,
         });
+    }
+
+    #[test]
+    fn classification_counts_pinned() {
+        // Regression guard for the single-touch shadow restructuring: exact
+        // hit/miss/class counts captured from the original two-touch
+        // (`contains` + `insert`) miss path. Any drift in classification or
+        // recency behavior changes these numbers.
+        let cfg =
+            CacheConfig { size: 1024, assoc: 2, block_size: 32, replacement: Replacement::Lru };
+        let mut c = Cache::with_classification(cfg);
+        let mut state = 0x1234_5678_9ABC_DEF0u64;
+        for _ in 0..20_000u64 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let r = state >> 33;
+            let block = r % 200;
+            let write = r & 1 == 1;
+            if !c.access(block, write).is_hit() {
+                c.fill(block, write);
+            }
+        }
+        let s = c.stats();
+        assert_eq!(
+            (s.accesses, s.hits, s.misses, s.compulsory, s.capacity, s.conflict, s.writebacks),
+            (20000, 3232, 16768, 200, 15744, 824, 8442),
+        );
     }
 
     #[test]

@@ -30,6 +30,7 @@ mod probe;
 mod sldt;
 mod stats;
 mod stream;
+mod table;
 mod tlb;
 mod victim;
 

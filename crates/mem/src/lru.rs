@@ -3,7 +3,7 @@
 //! This is the building block for the victim cache, the bypass buffer, and
 //! the fully-associative shadow cache used for conflict-miss classification.
 
-use std::collections::HashMap;
+use crate::table::BlockMap;
 
 const NIL: u32 = u32::MAX;
 
@@ -29,7 +29,7 @@ struct Node {
 #[derive(Debug, Clone)]
 pub struct LruSet {
     nodes: Vec<Node>,
-    map: HashMap<u64, u32>,
+    map: BlockMap,
     /// Most-recently-used node.
     head: u32,
     /// Least-recently-used node.
@@ -48,7 +48,7 @@ impl LruSet {
         assert!(capacity > 0, "LruSet capacity must be positive");
         LruSet {
             nodes: Vec::with_capacity(capacity),
-            map: HashMap::with_capacity(capacity),
+            map: BlockMap::with_capacity(capacity),
             head: NIL,
             tail: NIL,
             free: Vec::new(),
@@ -73,12 +73,12 @@ impl LruSet {
 
     /// True if `key` is present (does not update recency).
     pub fn contains(&self, key: u64) -> bool {
-        self.map.contains_key(&key)
+        self.map.get(key).is_some()
     }
 
     /// Marks `key` as most recently used; returns false if absent.
     pub fn touch(&mut self, key: u64) -> bool {
-        let Some(&idx) = self.map.get(&key) else {
+        let Some(idx) = self.map.get(key) else {
             return false;
         };
         self.unlink(idx);
@@ -90,11 +90,30 @@ impl LruSet {
     /// set was full. Re-inserting an existing key refreshes it (and ORs the
     /// dirty bit); nothing is evicted in that case.
     pub fn insert(&mut self, key: u64, dirty: bool) -> Option<(u64, bool)> {
-        if let Some(&idx) = self.map.get(&key) {
+        self.insert_probe(key, dirty).1
+    }
+
+    /// [`LruSet::insert`] that also reports whether `key` was already present
+    /// before the insert — membership probe and recency update in a single
+    /// table lookup, for callers (miss classification) that would otherwise
+    /// pay `contains` + `insert`.
+    pub fn insert_probe(&mut self, key: u64, dirty: bool) -> (bool, Option<(u64, bool)>) {
+        // Fast path: re-inserting the current MRU key changes no ordering,
+        // so skip the table lookup and list relink entirely. This is the
+        // common case for the classification shadow, which is touched on
+        // every access of a block-dense reference stream.
+        if self.head != NIL {
+            let h = &mut self.nodes[self.head as usize];
+            if h.key == key {
+                h.dirty |= dirty;
+                return (true, None);
+            }
+        }
+        if let Some(idx) = self.map.get(key) {
             self.nodes[idx as usize].dirty |= dirty;
             self.unlink(idx);
             self.link_front(idx);
-            return None;
+            return (true, None);
         }
         let mut evicted = None;
         if self.map.len() == self.capacity {
@@ -104,7 +123,7 @@ impl LruSet {
             evicted = Some((node.key, node.dirty));
             let old_key = node.key;
             self.unlink(victim);
-            self.map.remove(&old_key);
+            self.map.remove(old_key);
             self.free.push(victim);
         }
         let idx = match self.free.pop() {
@@ -119,12 +138,12 @@ impl LruSet {
         };
         self.map.insert(key, idx);
         self.link_front(idx);
-        evicted
+        (false, evicted)
     }
 
     /// Removes `key`, returning its dirty bit if it was present.
     pub fn remove(&mut self, key: u64) -> Option<bool> {
-        let idx = self.map.remove(&key)?;
+        let idx = self.map.remove(key)?;
         let dirty = self.nodes[idx as usize].dirty;
         self.unlink(idx);
         self.free.push(idx);
@@ -250,6 +269,16 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_panics() {
         let _ = LruSet::new(0);
+    }
+
+    #[test]
+    fn insert_probe_reports_prior_membership() {
+        let mut s = LruSet::new(2);
+        assert_eq!(s.insert_probe(1, false), (false, None));
+        assert_eq!(s.insert_probe(1, true), (true, None));
+        assert_eq!(s.insert_probe(2, false), (false, None));
+        // 1 is LRU and carries the dirty bit merged by the refreshing probe.
+        assert_eq!(s.insert_probe(3, false), (false, Some((1, true))));
     }
 
     #[test]

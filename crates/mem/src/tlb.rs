@@ -33,6 +33,8 @@ impl TlbConfig {
 pub struct Tlb {
     cache: Cache,
     cfg: TlbConfig,
+    /// `log2(page_size)`; pages are powers of two, so page numbers shift.
+    page_shift: u32,
     misses: u64,
     accesses: u64,
 }
@@ -51,14 +53,20 @@ impl Tlb {
             block_size: cfg.page_size,
             replacement: Replacement::Lru,
         };
-        Tlb { cache: Cache::new(cache_cfg), cfg, misses: 0, accesses: 0 }
+        Tlb {
+            cache: Cache::new(cache_cfg),
+            page_shift: cfg.page_size.trailing_zeros(),
+            cfg,
+            misses: 0,
+            accesses: 0,
+        }
     }
 
     /// Translates `addr`, returning the extra latency (0 on a hit, the miss
     /// penalty on a miss). The missing translation is installed.
     pub fn access(&mut self, addr: Addr) -> u64 {
         self.accesses += 1;
-        let page = addr.block(self.cfg.page_size);
+        let page = addr.0 >> self.page_shift;
         if self.cache.access(page, false).is_hit() {
             0
         } else {
