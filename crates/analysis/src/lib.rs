@@ -4,6 +4,9 @@
 //!
 //! - [`ReuseProfiler`] — exact LRU reuse distances in O(N log N) and
 //!   Mattson miss-ratio curves (one pass, every cache size).
+//! - [`ReuseSpectrum`] / [`CacheModel`] — exact distance spectra and the
+//!   binomial fully-associative → set-associative projection, evaluating
+//!   arbitrary `(sets, assoc)` grids from one profile.
 //! - [`PhaseDetector`] — working-set phase detection, quantifying the
 //!   "phase-by-phase nature" the paper's selective scheme exploits.
 //! - [`TraceProfile`] — per-array traffic, read/write mix, and
@@ -37,11 +40,13 @@
 #![warn(missing_docs)]
 
 mod fenwick;
+mod model;
 mod phase;
 mod profile;
 mod reuse;
 
 pub use fenwick::Fenwick;
+pub use model::{hit_probability, CacheModel, ReuseSpectrum};
 pub use phase::{Phase, PhaseConfig, PhaseDetector};
 pub use profile::{ArrayProfile, RegionProfiles, TraceProfile};
 pub use reuse::{Distance, Histogram, ReuseProfiler};

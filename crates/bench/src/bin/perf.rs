@@ -20,7 +20,8 @@
 use selcache_bench::json::Json;
 use selcache_bench::ops_per_sec;
 use selcache_core::{
-    AssistKind, Benchmark, JobEngine, MachineConfig, Scale, SimJob, SimResult, Version,
+    AssistKind, Benchmark, JobEngine, MachineConfig, Scale, SimJob, SimResult, SweepAxis,
+    SweepMode, SweepSpec, Version,
 };
 use std::path::PathBuf;
 use std::time::Instant;
@@ -42,6 +43,9 @@ const VERSIONS: [Version; 2] = [Version::Base, Version::Selective];
 /// `--subset tiny`: one regular FP kernel, one pointer-chaser, one control
 /// benchmark, one database query — the four hot-path shapes.
 const TINY: [Benchmark; 4] = [Benchmark::Vpenta, Benchmark::Li, Benchmark::Perl, Benchmark::TpcDQ6];
+
+/// Benchmark the analytical sweep grid is timed on.
+const SWEEP_BENCH: Benchmark = Benchmark::TpcDQ6;
 
 const USAGE: &str = "usage: perf [--subset tiny|full] [--threads N] [--out PATH] [--baseline PATH]";
 
@@ -178,6 +182,52 @@ fn main() {
     let suite_secs = t0.elapsed().as_secs_f64();
     let total_ops: u64 = suite.iter().map(|r| r.instructions).sum();
 
+    // Sweep-grid throughput: a 200-point analytical L1 design-space grid
+    // (single trace pass per version, no cross-check sims), best of REPS.
+    // The speedup column extrapolates the exact equivalent from one
+    // measured point (two simulations: base + optimized).
+    let grid_spec = SweepSpec::new(SWEEP_BENCH)
+        .scale(SCALE)
+        .mode(SweepMode::Analytical { check_fraction: 0.0 })
+        .axis(SweepAxis::L1Size, (12..22).map(|p| 1u64 << p))
+        .axis(SweepAxis::L1Assoc, [1, 2, 4, 8, 16])
+        .axis(SweepAxis::L1Line, [16, 32, 64, 128]);
+    let grid_points = grid_spec.points();
+    let mut grid_secs = f64::INFINITY;
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        let sweep = grid_spec.run_with(&serial).expect("perf grid spec is valid");
+        grid_secs = grid_secs.min(t0.elapsed().as_secs_f64());
+        assert_eq!(sweep.points.len(), grid_points);
+    }
+    let exact_jobs = [
+        SimJob::new(SWEEP_BENCH, SCALE, MachineConfig::base(), AssistKind::None, Version::Base),
+        SimJob::new(
+            SWEEP_BENCH,
+            SCALE,
+            MachineConfig::base(),
+            AssistKind::None,
+            Version::PureSoftware,
+        ),
+    ];
+    let t0 = Instant::now();
+    serial.run(&exact_jobs);
+    let exact_point_secs = t0.elapsed().as_secs_f64();
+    let sweep_points_per_sec = ops_per_sec(grid_points as u64, grid_secs);
+    let speedup_vs_exact = if grid_secs > 0.0 && exact_point_secs > 0.0 {
+        exact_point_secs * grid_points as f64 / grid_secs
+    } else {
+        0.0
+    };
+    eprintln!(
+        "  sweep_grid ({} pts)      {:>12.0} pts/s  ({:.1} ms; exact point {:.1} ms, {:.0}x)",
+        grid_points,
+        sweep_points_per_sec,
+        grid_secs * 1e3,
+        exact_point_secs * 1e3,
+        speedup_vs_exact,
+    );
+
     let report = Json::obj([
         ("schema", Json::str("selcache-perf/1")),
         ("subset", Json::str(cli.subset_name)),
@@ -189,6 +239,17 @@ fn main() {
                 ("sim_ops", Json::UInt(total_ops)),
                 ("wall_ms", Json::Num(suite_secs * 1e3)),
                 ("ops_per_sec", Json::Num(ops_per_sec(total_ops, suite_secs))),
+            ]),
+        ),
+        (
+            "sweep_grid",
+            Json::obj([
+                ("benchmark", Json::str(SWEEP_BENCH.name())),
+                ("grid_points", Json::UInt(grid_points as u64)),
+                ("wall_ms", Json::Num(grid_secs * 1e3)),
+                ("points_per_sec", Json::Num(sweep_points_per_sec)),
+                ("exact_point_ms", Json::Num(exact_point_secs * 1e3)),
+                ("speedup_vs_exact", Json::Num(speedup_vs_exact)),
             ]),
         ),
         (
@@ -224,7 +285,7 @@ fn main() {
     );
 
     if let Some(path) = &cli.baseline {
-        match gate(&cells, path) {
+        match gate(&cells, sweep_points_per_sec, path) {
             Gate::Skipped(why) => eprintln!("perf: baseline gate skipped ({why})"),
             Gate::Passed(ratio) => {
                 eprintln!("perf: baseline gate passed (geomean ratio {ratio:.3})");
@@ -248,8 +309,10 @@ enum Gate {
 }
 
 /// Compares this run's per-cell throughput with an earlier artifact: the
-/// geometric mean of current/baseline ratios over cells present in both.
-fn gate(cells: &[Cell], path: &std::path::Path) -> Gate {
+/// geometric mean of current/baseline ratios over cells present in both,
+/// with the analytical sweep grid's points/sec included as one more cell
+/// when the baseline carries it.
+fn gate(cells: &[Cell], sweep_points_per_sec: f64, path: &std::path::Path) -> Gate {
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(_) => return Gate::Skipped(format!("no baseline at {}", path.display())),
@@ -279,6 +342,14 @@ fn gate(cells: &[Cell], path: &std::path::Path) -> Gate {
         let cur = cell.ops_per_sec();
         if base > 0.0 && cur > 0.0 {
             log_sum += (cur / base).ln();
+            n += 1;
+        }
+    }
+    let baseline_sweep =
+        doc.get("sweep_grid").and_then(|g| g.get("points_per_sec")).and_then(Json::as_f64);
+    if let Some(base) = baseline_sweep {
+        if base > 0.0 && sweep_points_per_sec > 0.0 {
+            log_sum += (sweep_points_per_sec / base).ln();
             n += 1;
         }
     }

@@ -69,5 +69,9 @@ fn main() {
                 benchmarks.iter().zip(&results).map(|(bm, r)| result_json(bm.name(), r)).collect();
             println!("{}", Json::Arr(rows));
         }
+        OutputFormat::Csv => {
+            eprintln!("error: regions supports --format text|json (csv is sweep-only)");
+            std::process::exit(2);
+        }
     }
 }

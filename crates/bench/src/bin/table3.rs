@@ -38,5 +38,9 @@ fn main() {
         OutputFormat::Json => {
             println!("{}", Json::Arr(rows.iter().map(row_json).collect()));
         }
+        OutputFormat::Csv => {
+            eprintln!("error: table3 supports --format text|json (csv is sweep-only)");
+            std::process::exit(2);
+        }
     }
 }

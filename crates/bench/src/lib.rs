@@ -14,12 +14,14 @@
 //! | `fig9`   | Figure 9 | % improvement, 8-way L1 |
 //! | `table3` | Table 3  | average improvements across all six machines and both assists |
 //! | `regions` | —       | per-region cycles/misses/assist coverage of the selective version |
+//! | `sweep`  | Figs 4–9 axes | design-space sweeps via `SweepSpec` (exact or analytical) |
 //!
 //! Every binary accepts `--scale tiny|small|medium` (default `small`),
 //! `--victim`/`--stream` to switch the figures' assist, `--threads N` to
 //! size the simulation pool (default: all cores; output is identical for
 //! every `N`), and `--subset bench,bench,...` to restrict the suite.
-//! `table3` and `regions` also accept `--format text|json`.
+//! `table3` and `regions` also accept `--format text|json`; `sweep` adds
+//! `--format csv` on top of those.
 //! Criterion benches (`cargo bench`) measure simulator component
 //! throughput and run the ablation studies listed in `DESIGN.md`.
 
@@ -33,7 +35,7 @@ use std::fmt;
 
 /// Usage string the binaries print when argument parsing fails.
 pub const USAGE: &str = "usage: [--scale tiny|small|medium] [--bypass|--victim|--stream] \
-[--threads N] [--subset bench,bench,...] [--csv <path>] [--format text|json]";
+[--threads N] [--subset bench,bench,...] [--csv <path>] [--format text|json|csv]";
 
 /// Why the command line failed to parse.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -48,7 +50,7 @@ pub enum CliError {
     InvalidThreads(String),
     /// A `--subset` entry named no known benchmark.
     UnknownBenchmark(String),
-    /// `--format` value was not `text|json`.
+    /// `--format` value was not `text|json|csv`.
     InvalidFormat(String),
 }
 
@@ -60,6 +62,9 @@ pub enum OutputFormat {
     Text,
     /// Machine-readable JSON on stdout.
     Json,
+    /// Comma-separated values on stdout (the `sweep` binary; `table3`
+    /// and `regions` reject it).
+    Csv,
 }
 
 impl fmt::Display for CliError {
@@ -77,7 +82,7 @@ impl fmt::Display for CliError {
                 write!(f, "unknown benchmark {v:?}; known: {}", known_benchmarks())
             }
             CliError::InvalidFormat(v) => {
-                write!(f, "unknown format {v:?}; use text|json")
+                write!(f, "unknown format {v:?}; use text|json|csv")
             }
         }
     }
@@ -90,10 +95,11 @@ fn known_benchmarks() -> String {
     names.join(" ")
 }
 
-/// `--subset` entry lookup: exact display name first, then a form with
+/// Benchmark name lookup for `--subset` entries and the `sweep` binary's
+/// `--benchmark` flag: exact display name first, then a form with
 /// punctuation stripped so the comma-bearing TPC-D names stay addressable
 /// inside a comma-separated list (`tpc-dq6`, `tpcdq6`).
-fn parse_benchmark(token: &str) -> Option<Benchmark> {
+pub fn parse_benchmark(token: &str) -> Option<Benchmark> {
     Benchmark::parse(token).or_else(|| {
         let canon = |s: &str| {
             s.chars().filter(char::is_ascii_alphanumeric).collect::<String>().to_ascii_lowercase()
@@ -181,6 +187,7 @@ impl Cli {
                     out.format = match v.as_str() {
                         "text" => OutputFormat::Text,
                         "json" => OutputFormat::Json,
+                        "csv" => OutputFormat::Csv,
                         _ => return Err(CliError::InvalidFormat(v)),
                     };
                 }
@@ -287,6 +294,8 @@ mod tests {
         assert_eq!(c.benchmarks(), vec![Benchmark::Adi, Benchmark::Li, Benchmark::TpcDQ6]);
         assert_eq!(c.csv.as_deref(), Some(std::path::Path::new("/tmp/out.csv")));
         assert_eq!(c.format, OutputFormat::Json);
+        let c = Cli::parse(["--format", "csv"]).unwrap();
+        assert_eq!(c.format, OutputFormat::Csv);
     }
 
     #[test]
@@ -303,6 +312,8 @@ mod tests {
             Err(CliError::UnknownBenchmark("nosuch".into()))
         );
         assert_eq!(Cli::parse(["--format", "yaml"]), Err(CliError::InvalidFormat("yaml".into())));
+        let msg = CliError::InvalidFormat("yaml".into()).to_string();
+        assert!(msg.contains("text|json|csv"), "{msg}");
         // Errors render with guidance.
         let msg = CliError::InvalidScale("huge".into()).to_string();
         assert!(msg.contains("tiny|small|medium"), "{msg}");

@@ -187,6 +187,51 @@ impl ExecKey {
     }
 }
 
+/// A normalized job set: the dedup work [`JobEngine`] does before any
+/// simulation starts, shared by execution and [`JobEngine::dry_run`].
+struct ExecPlan {
+    /// Distinct execution identities, in first-appearance order.
+    unique: Vec<ExecKey>,
+    /// For each submitted job, the index of its identity in `unique`.
+    slot: Vec<usize>,
+    /// Distinct programs to prepare, in first-appearance order.
+    prog_keys: Vec<ProgramKey>,
+    /// For each unique identity, the index of its program in `prog_keys`.
+    prog_of: Vec<usize>,
+}
+
+impl ExecPlan {
+    fn of(jobs: &[SimJob]) -> ExecPlan {
+        // Normalize and deduplicate. Job sets are small (hundreds at most:
+        // benchmarks x versions x machines), so linear-scan identity maps
+        // beat hashing the f64-bearing config structs.
+        let mut unique: Vec<ExecKey> = Vec::new();
+        let mut slot: Vec<usize> = Vec::with_capacity(jobs.len());
+        for job in jobs {
+            let key = ExecKey::of(job);
+            match unique.iter().position(|u| *u == key) {
+                Some(k) => slot.push(k),
+                None => {
+                    unique.push(key);
+                    slot.push(unique.len() - 1);
+                }
+            }
+        }
+        let mut prog_keys: Vec<ProgramKey> = Vec::new();
+        let prog_of: Vec<usize> = unique
+            .iter()
+            .map(|key| match prog_keys.iter().position(|p| *p == key.program) {
+                Some(k) => k,
+                None => {
+                    prog_keys.push(key.program.clone());
+                    prog_keys.len() - 1
+                }
+            })
+            .collect();
+        ExecPlan { unique, slot, prog_keys, prog_of }
+    }
+}
+
 /// Counters describing what one [`JobEngine::run_with_stats`] call did.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EngineStats {
@@ -255,35 +300,22 @@ impl JobEngine {
         self.execute(jobs, false)
     }
 
-    fn execute(&self, jobs: &[SimJob], profiled: bool) -> (Vec<SimResult>, EngineStats) {
-        // Normalize and deduplicate. Job sets are small (hundreds at most:
-        // benchmarks x versions x machines), so linear-scan identity maps
-        // beat hashing the f64-bearing config structs.
-        let mut unique: Vec<ExecKey> = Vec::new();
-        let mut slot: Vec<usize> = Vec::with_capacity(jobs.len());
-        for job in jobs {
-            let key = ExecKey::of(job);
-            match unique.iter().position(|u| *u == key) {
-                Some(k) => slot.push(k),
-                None => {
-                    unique.push(key);
-                    slot.push(unique.len() - 1);
-                }
-            }
+    /// Normalizes a job set without executing anything: the counters
+    /// [`JobEngine::run_with_stats`] would report — how many unique
+    /// simulations and distinct prepared programs the set needs.
+    pub fn dry_run(&self, jobs: &[SimJob]) -> EngineStats {
+        let plan = ExecPlan::of(jobs);
+        EngineStats {
+            submitted: jobs.len(),
+            executed: plan.unique.len(),
+            dedup_hits: jobs.len() - plan.unique.len(),
+            programs_prepared: plan.prog_keys.len(),
+            threads: self.threads,
         }
+    }
 
-        // Build each distinct program once, in parallel.
-        let mut prog_keys: Vec<ProgramKey> = Vec::new();
-        let prog_of: Vec<usize> = unique
-            .iter()
-            .map(|key| match prog_keys.iter().position(|p| *p == key.program) {
-                Some(k) => k,
-                None => {
-                    prog_keys.push(key.program.clone());
-                    prog_keys.len() - 1
-                }
-            })
-            .collect();
+    fn execute(&self, jobs: &[SimJob], profiled: bool) -> (Vec<SimResult>, EngineStats) {
+        let ExecPlan { unique, slot, prog_keys, prog_of } = ExecPlan::of(jobs);
         let programs = self.par_map(&prog_keys, ProgramKey::build);
 
         // Execute each unique job once, in parallel.

@@ -36,8 +36,16 @@
 //! [`JobEngine`] deduplicates and runs in parallel, returning results in
 //! submission order (bit-identical for every thread count). The suite and
 //! table entry points ([`SuiteResult::run_with`], [`table2_with`],
-//! [`table3_rows`], [`Sweep::run_with`]) are declarative constructors over
-//! it; build custom studies from [`SimJob`] directly.
+//! [`table3_rows`]) are declarative constructors over it; build custom
+//! studies from [`SimJob`] directly.
+//!
+//! ## Design-space sweeps
+//!
+//! [`SweepSpec`] declares a parameter grid over one benchmark and runs it
+//! either exactly (every point simulated) or analytically — a single
+//! reuse-profiling trace pass per program version evaluates the whole
+//! `(size, associativity, line)` grid, with a sampled exact cross-check
+//! bounding the model error. See the [`sweep`](crate::SweepSpec) types.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -57,7 +65,10 @@ pub use report::{
     BenchmarkRow, SuiteResult, Table3Row,
 };
 pub use runner::{Experiment, ExperimentBuilder, SimResult, Version};
-pub use sweep::{l1_assoc_sweep, memory_latency_sweep, Sweep, SweepPoint};
+pub use sweep::{
+    l1_assoc_sweep, memory_latency_sweep, CheckSummary, PointCheck, PointData, Sweep, SweepAxis,
+    SweepError, SweepMode, SweepPoint, SweepSpec, SweepWork, VersionedMiss,
+};
 
 // Re-export the pieces callers need to parameterize experiments.
 pub use selcache_mem::AssistKind;

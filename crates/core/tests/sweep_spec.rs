@@ -1,0 +1,109 @@
+//! Property tests of [`SweepSpec`] job normalization: whatever the grid
+//! looks like, the job set it normalizes to must share prepared programs
+//! across grid points (the engine-level dedup the sweep API relies on).
+
+use proptest::prelude::*;
+use selcache_core::{
+    AssistKind, Benchmark, JobEngine, Scale, SweepAxis, SweepMode, SweepSpec, Version,
+};
+
+/// Strategy helper: turn raw generated values into a non-empty, distinct,
+/// sorted axis value list.
+fn distinct(mut values: Vec<u64>) -> Vec<u64> {
+    values.sort_unstable();
+    values.dedup();
+    values
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Exact sweeps over axes that leave the L1 geometry alone (latency,
+    /// L2 shape) derive the same compiler configuration at every grid
+    /// point, so the engine prepares exactly three programs — raw,
+    /// optimized, selective — no matter how many points the grid has.
+    #[test]
+    fn exact_geometry_invariant_sweeps_prepare_three_programs(
+        lats in proptest::collection::vec(1u64..=500, 1..5),
+        l2_assocs in proptest::collection::vec(1u64..=16, 1..4),
+    ) {
+        let lats = distinct(lats);
+        let l2_assocs = distinct(l2_assocs);
+        let spec = SweepSpec::new(Benchmark::Adi)
+            .scale(Scale::Tiny)
+            .assist(AssistKind::Bypass)
+            .axis(SweepAxis::MemLatency, lats.iter().copied())
+            .axis(SweepAxis::L2Assoc, l2_assocs.iter().copied());
+        let points = lats.len() * l2_assocs.len();
+        prop_assert_eq!(spec.points(), points);
+        let jobs = spec.jobs();
+        prop_assert_eq!(jobs.len(), points * (1 + Version::REPORTED.len()));
+        let stats = JobEngine::serial().dry_run(&jobs);
+        // One raw + one optimized + one selective program, shared by every
+        // grid point; each point's five runs stay distinct (the machines
+        // differ), so nothing else collapses.
+        prop_assert_eq!(stats.programs_prepared, 3);
+        prop_assert_eq!(stats.executed, jobs.len());
+        prop_assert_eq!(stats.dedup_hits, 0);
+    }
+
+    /// Analytical sweeps pin the compiler configuration to the base
+    /// machine, so however many points the cross-check samples, the job
+    /// set needs at most two prepared programs (raw + optimized) — the
+    /// same two the trace passes profile.
+    #[test]
+    fn analytical_cross_check_jobs_share_two_programs(
+        size_shifts in proptest::collection::vec(13u32..=20, 1..5),
+        assocs in proptest::collection::vec(0u32..=3, 1..4),
+        check_pct in 0u32..=100,
+    ) {
+        let sizes = distinct(size_shifts.iter().map(|&p| 1u64 << p).collect());
+        let assocs = distinct(assocs.iter().map(|&p| 1u64 << p).collect());
+        let frac = check_pct as f64 / 100.0;
+        let spec = SweepSpec::new(Benchmark::TpcDQ6)
+            .scale(Scale::Tiny)
+            .mode(SweepMode::Analytical { check_fraction: frac })
+            .axis(SweepAxis::L1Size, sizes.iter().copied())
+            .axis(SweepAxis::L1Assoc, assocs.iter().copied());
+        let jobs = spec.jobs();
+        let stats = JobEngine::serial().dry_run(&jobs);
+        if frac > 0.0 {
+            // max(1, round(frac * n)) sampled points, two jobs each.
+            let n = spec.points();
+            let checked = (((frac * n as f64).round() as usize).max(1)).min(n);
+            prop_assert_eq!(jobs.len(), 2 * checked);
+            // Every sampled point reuses the same two prepared programs
+            // regardless of its geometry (the opt config is pinned).
+            prop_assert_eq!(stats.programs_prepared, 2);
+            // Distinct grid points mean distinct machines: no dedup.
+            prop_assert_eq!(stats.executed, jobs.len());
+        } else {
+            prop_assert!(jobs.is_empty());
+            prop_assert_eq!(stats.programs_prepared, 0);
+        }
+    }
+
+    /// The grid is always the full cartesian product, last axis fastest,
+    /// and every machine reflects its point's coordinates.
+    #[test]
+    fn grid_covers_the_cartesian_product(
+        lats in proptest::collection::vec(1u64..=500, 1..4),
+        ways in proptest::collection::vec(0u32..=4, 1..4),
+    ) {
+        let lats = distinct(lats);
+        let ways = distinct(ways.iter().map(|&p| 1u64 << p).collect());
+        let spec = SweepSpec::new(Benchmark::Li)
+            .axis(SweepAxis::MemLatency, lats.iter().copied())
+            .axis(SweepAxis::L1Assoc, ways.iter().copied());
+        let grid = spec.grid();
+        prop_assert_eq!(grid.len(), lats.len() * ways.len());
+        for (k, point) in grid.iter().enumerate() {
+            prop_assert_eq!(point[0], lats[k / ways.len()]);
+            prop_assert_eq!(point[1], ways[k % ways.len()]);
+            let m = spec.machine_at(point);
+            prop_assert_eq!(m.mem.mem_latency, point[0]);
+            prop_assert_eq!(m.mem.l1d.assoc as u64, point[1]);
+            prop_assert_eq!(m.mem.l1i.assoc as u64, point[1]);
+        }
+    }
+}

@@ -2,7 +2,9 @@
 //! the cycle-accurate simulator's measurements.
 
 use selcache::analysis::ReuseProfiler;
-use selcache::core::{AssistKind, Experiment, MachineConfig, Version};
+use selcache::core::{
+    AssistKind, Experiment, JobEngine, MachineConfig, SweepAxis, SweepMode, SweepSpec, Version,
+};
 use selcache::ir::Interp;
 use selcache::workloads::{Benchmark, Scale};
 
@@ -33,6 +35,47 @@ fn reuse_profile_predicts_l1_miss_rate() {
             measured <= fa_upper + 0.25,
             "{bm}: simulated {measured:.3} far above FA upper bound {fa_upper:.3}"
         );
+    }
+}
+
+/// The analytical sweep engine's estimated miss ratios must track exact
+/// simulation across a size × associativity grid for regular, irregular,
+/// and database benchmarks alike: with `check_fraction: 1.0` every grid
+/// point is verified, and the reported error summary bounds the
+/// projection's absolute miss-ratio error.
+#[test]
+fn analytical_sweep_grid_tracks_exact_simulation() {
+    let engine = JobEngine::default();
+    for bm in [Benchmark::TpcDQ6, Benchmark::Li, Benchmark::Vpenta] {
+        let sweep = SweepSpec::new(bm)
+            .scale(Scale::Tiny)
+            .mode(SweepMode::Analytical { check_fraction: 1.0 })
+            .axis(SweepAxis::L1Size, [8 * 1024, 32 * 1024])
+            .axis(SweepAxis::L1Assoc, [2, 8])
+            .run_with(&engine)
+            .unwrap_or_else(|e| panic!("{bm}: {e}"));
+        // One trace pass per version, every point cross-checked.
+        assert_eq!(sweep.work.trace_passes, 2, "{bm}");
+        assert_eq!(sweep.points.len(), 4, "{bm}");
+        let check = sweep.check.expect("full cross-check ran");
+        assert_eq!(check.checked, 4, "{bm}");
+        assert!(
+            check.max_abs_error < 0.15,
+            "{bm}: max |err| {:.4} exceeds the projection bound",
+            check.max_abs_error
+        );
+        assert!(check.mean_abs_error <= check.max_abs_error + 1e-12, "{bm}");
+        // Every point carries both the estimate and its verification, and
+        // the summary really is the max over them.
+        let mut worst = 0.0f64;
+        for p in &sweep.points {
+            let est = p.estimate().unwrap_or_else(|| panic!("{bm}: analytical point"));
+            assert!((0.0..=1.0).contains(&est.base), "{bm}: {est:?}");
+            assert!((0.0..=1.0).contains(&est.optimized), "{bm}: {est:?}");
+            let c = p.check().unwrap_or_else(|| panic!("{bm}: checked point"));
+            worst = worst.max(c.abs_error);
+        }
+        assert!((worst - check.max_abs_error).abs() < 1e-12, "{bm}");
     }
 }
 
