@@ -8,7 +8,7 @@
 //! for the suite wall time.
 //!
 //! ```text
-//! usage: perf [--subset tiny|full] [--threads N] [--out PATH] [--baseline PATH]
+//! usage: perf [--subset tiny|full] [--threads N] [--out PATH] [--baseline PATH] [--store DIR]
 //! ```
 //!
 //! `--subset tiny` restricts the matrix to four representative workloads
@@ -16,11 +16,18 @@
 //! the run compares its per-cell throughput against that earlier
 //! `BENCH_perf.json` and exits 1 when the geometric-mean ratio regresses
 //! more than 20%; a missing baseline file skips the gate.
+//!
+//! The report also carries a `store_warm` cell: the suite matrix is run
+//! cold into a scratch result store and then rerun warm (every identity a
+//! store hit, zero simulations), recording both wall times and the
+//! speedup. `--store DIR` places the scratch store under `DIR` (CI points
+//! it at a tempdir); by default it lives under the system temp directory.
+//! The scratch store is deleted afterwards either way.
 
 use selcache_bench::json::Json;
 use selcache_bench::ops_per_sec;
 use selcache_core::{
-    AssistKind, Benchmark, JobEngine, MachineConfig, Scale, SimJob, SimResult, SweepAxis,
+    AssistKind, Benchmark, JobEngine, MachineConfig, Scale, SimJob, SimResult, Store, SweepAxis,
     SweepMode, SweepSpec, Version,
 };
 use std::path::PathBuf;
@@ -47,7 +54,8 @@ const TINY: [Benchmark; 4] = [Benchmark::Vpenta, Benchmark::Li, Benchmark::Perl,
 /// Benchmark the analytical sweep grid is timed on.
 const SWEEP_BENCH: Benchmark = Benchmark::TpcDQ6;
 
-const USAGE: &str = "usage: perf [--subset tiny|full] [--threads N] [--out PATH] [--baseline PATH]";
+const USAGE: &str = "usage: perf [--subset tiny|full] [--threads N] [--out PATH] \
+[--baseline PATH] [--store DIR]";
 
 struct PerfCli {
     subset_name: &'static str,
@@ -55,6 +63,7 @@ struct PerfCli {
     threads: usize,
     out: PathBuf,
     baseline: Option<PathBuf>,
+    store: Option<PathBuf>,
 }
 
 fn parse_cli() -> PerfCli {
@@ -64,6 +73,7 @@ fn parse_cli() -> PerfCli {
         threads: 0,
         out: PathBuf::from("BENCH_perf.json"),
         baseline: None,
+        store: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -97,6 +107,7 @@ fn parse_cli() -> PerfCli {
             }
             "--out" => cli.out = value("--out").into(),
             "--baseline" => cli.baseline = Some(value("--baseline").into()),
+            "--store" => cli.store = Some(value("--store").into()),
             other => {
                 eprintln!("error: unknown argument {other:?}\n{USAGE}");
                 std::process::exit(2);
@@ -182,6 +193,39 @@ fn main() {
     let suite_secs = t0.elapsed().as_secs_f64();
     let total_ops: u64 = suite.iter().map(|r| r.instructions).sum();
 
+    // Store cold/warm cycle on the suite matrix: the cold pass simulates
+    // everything and populates a scratch store; the warm pass must answer
+    // every identity from disk with zero simulations.
+    let store_parent = cli.store.clone().unwrap_or_else(std::env::temp_dir);
+    let scratch = store_parent.join(format!("selcache-perf-warm-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    let open_scratch = || {
+        Store::open(&scratch).unwrap_or_else(|e| {
+            eprintln!("error: cannot create scratch store {}: {e}", scratch.display());
+            std::process::exit(1);
+        })
+    };
+    let t0 = Instant::now();
+    let (cold_results, cold_stats) =
+        JobEngine::with_store(cli.threads, open_scratch()).run_with_stats(&jobs);
+    let store_cold_secs = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let (warm_results, warm_stats) =
+        JobEngine::with_store(cli.threads, open_scratch()).run_with_stats(&jobs);
+    let store_warm_secs = t0.elapsed().as_secs_f64();
+    let _ = std::fs::remove_dir_all(&scratch);
+    assert_eq!(warm_stats.executed, 0, "warm store must execute zero simulations");
+    assert_eq!(warm_stats.store_hits, cold_stats.store_misses);
+    assert_eq!(cold_results, warm_results, "warm results must be byte-identical");
+    let store_speedup = if store_warm_secs > 0.0 { store_cold_secs / store_warm_secs } else { 0.0 };
+    eprintln!(
+        "  store_warm ({} unique)   cold {:.1} ms, warm {:.1} ms ({:.0}x)",
+        cold_stats.store_misses,
+        store_cold_secs * 1e3,
+        store_warm_secs * 1e3,
+        store_speedup,
+    );
+
     // Sweep-grid throughput: a 200-point analytical L1 design-space grid
     // (single trace pass per version, no cross-check sims), best of REPS.
     // The speedup column extrapolates the exact equivalent from one
@@ -239,6 +283,18 @@ fn main() {
                 ("sim_ops", Json::UInt(total_ops)),
                 ("wall_ms", Json::Num(suite_secs * 1e3)),
                 ("ops_per_sec", Json::Num(ops_per_sec(total_ops, suite_secs))),
+            ]),
+        ),
+        (
+            "store_warm",
+            Json::obj([
+                ("jobs", Json::UInt(jobs.len() as u64)),
+                ("unique", Json::UInt(cold_stats.store_misses as u64)),
+                ("cold_ms", Json::Num(store_cold_secs * 1e3)),
+                ("warm_ms", Json::Num(store_warm_secs * 1e3)),
+                ("speedup_vs_cold", Json::Num(store_speedup)),
+                ("store_hits", Json::UInt(warm_stats.store_hits as u64)),
+                ("bytes_written", Json::UInt(cold_stats.bytes_written)),
             ]),
         ),
         (

@@ -6,10 +6,12 @@
 //!
 //! All runs are submitted as one job set, so the pool keeps every core
 //! busy and deduplicated runs are simulated once. `--format json` emits
-//! the profiles as a JSON array instead of the tables.
+//! the profiles as a JSON array (each entry carrying its stable
+//! `job_id`); `--format csv` emits one row per (benchmark, region).
 use selcache_bench::json::Json;
 use selcache_bench::{Cli, OutputFormat};
 use selcache_core::{format_region_report, MachineConfig, SimJob, SimResult, Version};
+use std::fmt::Write as _;
 
 fn region_json(r: &selcache_core::RegionStats) -> Json {
     Json::obj([
@@ -31,13 +33,45 @@ fn region_json(r: &selcache_core::RegionStats) -> Json {
 
 fn result_json(name: &str, r: &SimResult) -> Json {
     let profile = r.regions.as_ref().expect("profiled run");
-    Json::obj([
-        ("benchmark", Json::str(name)),
-        ("version", Json::str("selective")),
-        ("cycles", Json::UInt(r.cycles)),
-        ("instructions", Json::UInt(r.instructions)),
-        ("regions", Json::Arr(profile.regions().iter().map(region_json).collect())),
-    ])
+    let mut pairs = vec![("benchmark", Json::str(name)), ("version", Json::str("selective"))];
+    if let Some(id) = r.job_id {
+        pairs.push(("job_id", Json::str(id.to_string())));
+    }
+    pairs.push(("cycles", Json::UInt(r.cycles)));
+    pairs.push(("instructions", Json::UInt(r.instructions)));
+    pairs.push(("regions", Json::Arr(profile.regions().iter().map(region_json).collect())));
+    Json::obj(pairs)
+}
+
+/// One CSV row per (benchmark, region), matching the other binaries' CSV
+/// style: a header line, then plain comma-joined values.
+fn results_csv(names: &[&str], results: &[SimResult]) -> String {
+    let mut out = String::from(
+        "benchmark,region,cycles,committed,loads,stores,l1d_accesses,l1d_misses,\
+         l2_accesses,l2_misses,assisted_accesses,assist_hits,toggles\n",
+    );
+    for (name, r) in names.iter().zip(results) {
+        let profile = r.regions.as_ref().expect("profiled run");
+        for reg in profile.regions() {
+            let _ = writeln!(
+                out,
+                "{name},{},{},{},{},{},{},{},{},{},{},{},{}",
+                reg.label,
+                reg.cycles,
+                reg.committed,
+                reg.loads,
+                reg.stores,
+                reg.l1d_accesses,
+                reg.l1d_misses,
+                reg.l2_accesses,
+                reg.l2_misses,
+                reg.assisted_accesses,
+                reg.assist_hits,
+                reg.toggles
+            );
+        }
+    }
+    out
 }
 
 fn main() {
@@ -70,8 +104,8 @@ fn main() {
             println!("{}", Json::Arr(rows));
         }
         OutputFormat::Csv => {
-            eprintln!("error: regions supports --format text|json (csv is sweep-only)");
-            std::process::exit(2);
+            let names: Vec<&str> = benchmarks.iter().map(|b| b.name()).collect();
+            print!("{}", results_csv(&names, &results));
         }
     }
 }

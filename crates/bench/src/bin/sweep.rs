@@ -16,7 +16,7 @@
 //! and `--format text|json|csv` (JSON includes the analytical-vs-exact
 //! error fields; CSV matches `Sweep::to_csv`).
 use selcache_bench::json::Json;
-use selcache_bench::{parse_benchmark, Cli, OutputFormat, USAGE};
+use selcache_bench::{engine_stats_json, parse_benchmark, Cli, OutputFormat, USAGE};
 use selcache_core::{Benchmark, PointData, Sweep, SweepAxis, SweepMode, SweepSpec};
 
 /// Sweep-specific usage, printed after the shared [`USAGE`] line.
@@ -150,6 +150,7 @@ fn sweep_json(sweep: &Sweep) -> Json {
         ("grid_points", Json::UInt(sweep.work.grid_points as u64)),
         ("trace_passes", Json::UInt(sweep.work.trace_passes as u64)),
         ("exact_sims", Json::UInt(sweep.work.exact_sims as u64)),
+        ("engine", engine_stats_json(&sweep.engine)),
     ];
     if let Some(c) = &sweep.check {
         pairs.push((

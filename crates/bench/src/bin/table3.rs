@@ -4,10 +4,12 @@
 //! All twelve suites (six machines x two assists) are submitted as one job
 //! set, so the engine shares each machine's Base and PureSoftware runs
 //! between its bypass and victim sweeps and keeps every core busy.
-//! `--format json` emits the rows as a JSON array instead of the table.
+//! `--format json` emits `{"rows": [...], "engine": {...}}` (engine
+//! counters include store hits/misses when `--store` is set);
+//! `--format csv` emits the rows via `table3_csv`.
 use selcache_bench::json::Json;
-use selcache_bench::{Cli, OutputFormat};
-use selcache_core::{format_table3, table3_rows, ConfigVariant, Table3Row};
+use selcache_bench::{engine_stats_json, Cli, OutputFormat};
+use selcache_core::{format_table3, table3_csv, table3_rows_with_stats, ConfigVariant, Table3Row};
 
 fn row_json(r: &Table3Row) -> Json {
     Json::obj([
@@ -32,15 +34,24 @@ fn main() {
         cli.scale,
         engine.threads()
     );
-    let rows = table3_rows(&engine, &machines, cli.scale, &cli.benchmarks());
+    let (rows, stats) = table3_rows_with_stats(&engine, &machines, cli.scale, &cli.benchmarks());
+    if engine.store().is_some() {
+        eprintln!(
+            "store: {} hits, {} misses, {} bytes written",
+            stats.store_hits, stats.store_misses, stats.bytes_written
+        );
+    }
     match cli.format {
         OutputFormat::Text => print!("{}", format_table3(&rows)),
         OutputFormat::Json => {
-            println!("{}", Json::Arr(rows.iter().map(row_json).collect()));
+            println!(
+                "{}",
+                Json::obj([
+                    ("rows", Json::Arr(rows.iter().map(row_json).collect())),
+                    ("engine", engine_stats_json(&stats)),
+                ])
+            );
         }
-        OutputFormat::Csv => {
-            eprintln!("error: table3 supports --format text|json (csv is sweep-only)");
-            std::process::exit(2);
-        }
+        OutputFormat::Csv => print!("{}", table3_csv(&rows)),
     }
 }

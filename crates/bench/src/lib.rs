@@ -19,9 +19,13 @@
 //! Every binary accepts `--scale tiny|small|medium` (default `small`),
 //! `--victim`/`--stream` to switch the figures' assist, `--threads N` to
 //! size the simulation pool (default: all cores; output is identical for
-//! every `N`), and `--subset bench,bench,...` to restrict the suite.
-//! `table3` and `regions` also accept `--format text|json`; `sweep` adds
-//! `--format csv` on top of those.
+//! every `N`), `--subset bench,bench,...` to restrict the suite, and
+//! `--store <dir>` (or the `SELCACHE_STORE` environment variable) to back
+//! the engine with a persistent result store — a warm store answers every
+//! repeated job from disk and executes zero simulations.
+//! `table3`, `regions`, and `sweep` accept `--format text|json|csv`.
+//! The `selcached` binary runs the same engine as a long-lived unix-socket
+//! service (see `DESIGN.md`).
 //! Criterion benches (`cargo bench`) measure simulator component
 //! throughput and run the ablation studies listed in `DESIGN.md`.
 
@@ -29,13 +33,16 @@
 #![warn(missing_docs)]
 
 pub mod json;
+#[cfg(unix)]
+pub mod service;
 
-use selcache_core::{AssistKind, Benchmark, ConfigVariant, JobEngine, Scale, SuiteResult};
+use selcache_core::{AssistKind, Benchmark, ConfigVariant, JobEngine, Scale, Store, SuiteResult};
 use std::fmt;
 
 /// Usage string the binaries print when argument parsing fails.
 pub const USAGE: &str = "usage: [--scale tiny|small|medium] [--bypass|--victim|--stream] \
-[--threads N] [--subset bench,bench,...] [--csv <path>] [--format text|json|csv]";
+[--threads N] [--subset bench,bench,...] [--csv <path>] [--format text|json|csv] \
+[--store <dir>]";
 
 /// Why the command line failed to parse.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -62,8 +69,7 @@ pub enum OutputFormat {
     Text,
     /// Machine-readable JSON on stdout.
     Json,
-    /// Comma-separated values on stdout (the `sweep` binary; `table3`
-    /// and `regions` reject it).
+    /// Comma-separated values on stdout (`sweep`, `table3`, `regions`).
     Csv,
 }
 
@@ -127,6 +133,9 @@ pub struct Cli {
     pub subset: Option<Vec<Benchmark>>,
     /// Output format for binaries that support `--format`.
     pub format: OutputFormat,
+    /// Persistent result-store root (`--store` flag; [`Cli::from_env`]
+    /// also honors the `SELCACHE_STORE` environment variable).
+    pub store: Option<std::path::PathBuf>,
 }
 
 impl Default for Cli {
@@ -138,6 +147,7 @@ impl Default for Cli {
             threads: 0,
             subset: None,
             format: OutputFormat::Text,
+            store: None,
         }
     }
 }
@@ -182,6 +192,10 @@ impl Cli {
                     let v = args.next().ok_or(CliError::MissingValue("--csv"))?;
                     out.csv = Some(v.into());
                 }
+                "--store" => {
+                    let v = args.next().ok_or(CliError::MissingValue("--store"))?;
+                    out.store = Some(v.into());
+                }
                 "--format" => {
                     let v = args.next().ok_or(CliError::MissingValue("--format"))?;
                     out.format = match v.as_str() {
@@ -198,10 +212,21 @@ impl Cli {
     }
 
     /// Parses `std::env::args`; on failure prints the error plus [`USAGE`]
-    /// to stderr and exits with status 2.
+    /// to stderr and exits with status 2. When `--store` is absent, a
+    /// non-empty `SELCACHE_STORE` environment variable supplies the store
+    /// root (so CI and shell profiles can warm one store across runs).
     pub fn from_env() -> Cli {
         match Cli::parse(std::env::args().skip(1)) {
-            Ok(cli) => cli,
+            Ok(mut cli) => {
+                if cli.store.is_none() {
+                    if let Ok(dir) = std::env::var("SELCACHE_STORE") {
+                        if !dir.is_empty() {
+                            cli.store = Some(dir.into());
+                        }
+                    }
+                }
+                cli
+            }
             Err(e) => {
                 eprintln!("error: {e}");
                 eprintln!("{USAGE}");
@@ -218,10 +243,39 @@ impl Cli {
         }
     }
 
-    /// A job engine sized per `--threads`.
+    /// A job engine sized per `--threads`, backed by the `--store`
+    /// directory when one was given. A store root that cannot be created
+    /// is fatal (exit 1): silently running store-less would re-simulate
+    /// everything the caller expected to be cached.
     pub fn engine(&self) -> JobEngine {
-        JobEngine::new(self.threads)
+        match &self.store {
+            None => JobEngine::new(self.threads),
+            Some(root) => match Store::open(root) {
+                Ok(store) => JobEngine::with_store(self.threads, store),
+                Err(e) => {
+                    eprintln!("failed to open store {}: {e}", root.display());
+                    std::process::exit(1);
+                }
+            },
+        }
     }
+}
+
+/// Renders [`EngineStats`](selcache_core::EngineStats) as the JSON object
+/// the `table3`/`sweep` binaries and the `selcached` protocol all embed
+/// (dedup plus store hit/miss accounting).
+pub fn engine_stats_json(stats: &selcache_core::EngineStats) -> json::Json {
+    use json::Json;
+    Json::obj([
+        ("submitted", Json::UInt(stats.submitted as u64)),
+        ("executed", Json::UInt(stats.executed as u64)),
+        ("dedup_hits", Json::UInt(stats.dedup_hits as u64)),
+        ("programs_prepared", Json::UInt(stats.programs_prepared as u64)),
+        ("store_hits", Json::UInt(stats.store_hits as u64)),
+        ("store_misses", Json::UInt(stats.store_misses as u64)),
+        ("bytes_written", Json::UInt(stats.bytes_written)),
+        ("threads", Json::UInt(stats.threads as u64)),
+    ])
 }
 
 /// Throughput in simulated ops per wall-clock second, guarded the same way
@@ -286,6 +340,8 @@ mod tests {
             "/tmp/out.csv",
             "--format",
             "json",
+            "--store",
+            "/tmp/selcache-store",
         ])
         .unwrap();
         assert_eq!(c.scale, Scale::Tiny);
@@ -294,8 +350,10 @@ mod tests {
         assert_eq!(c.benchmarks(), vec![Benchmark::Adi, Benchmark::Li, Benchmark::TpcDQ6]);
         assert_eq!(c.csv.as_deref(), Some(std::path::Path::new("/tmp/out.csv")));
         assert_eq!(c.format, OutputFormat::Json);
+        assert_eq!(c.store.as_deref(), Some(std::path::Path::new("/tmp/selcache-store")));
         let c = Cli::parse(["--format", "csv"]).unwrap();
         assert_eq!(c.format, OutputFormat::Csv);
+        assert_eq!(c.store, None, "store defaults to none in parse()");
     }
 
     #[test]

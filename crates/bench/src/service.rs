@@ -1,0 +1,464 @@
+//! The `selcached` service: a long-running unix-socket server wrapping one
+//! shared [`JobEngine`] (and usually a persistent [`selcache_core::Store`])
+//! so repeated
+//! sweeps from many clients are answered from a single warm cache.
+//!
+//! # Protocol
+//!
+//! Newline-delimited JSON, one request object per line, answered by one or
+//! more response lines (each a JSON object with an `"ok"` boolean and a
+//! `"kind"` tag):
+//!
+//! | request | response lines |
+//! |---|---|
+//! | `{"op":"ping"}` | `{"ok":true,"kind":"pong"}` |
+//! | `{"op":"stats"}` | `{"ok":true,"kind":"stats",...}` server-lifetime totals |
+//! | `{"op":"shutdown"}` | `{"ok":true,"kind":"bye"}`, then the server drains and exits |
+//! | `{"op":"run","jobs":[...]}` | one `"result"` line per job (submission order), then a `"done"` line |
+//!
+//! A job object names its execution identity with the same vocabulary the
+//! CLI binaries use (all string fields are case-insensitive and ignore
+//! punctuation):
+//!
+//! ```json
+//! {"benchmark": "vpenta", "scale": "tiny", "machine": "base",
+//!  "assist": "bypass", "version": "selective"}
+//! ```
+//!
+//! `machine` is one of the six Table 3 configurations (`base`,
+//! `higher-mem-latency`, `larger-l2`, `larger-l1`, `higher-l2-assoc`,
+//! `higher-l1-assoc`); `version` is `base`, `pure-hardware`,
+//! `pure-software`, `combined`, or `selective`; `assist` is `none`,
+//! `bypass`, `victim`, or `stream`. A request-level `"profiled": true`
+//! runs the set with region attribution (result lines then carry a
+//! `regions` count). Each `"result"` line echoes the job's stable
+//! `job_id`; the `"done"` line carries the engine counters for the
+//! request, so clients see how much of their sweep was answered by the
+//! store (cross-client dedup shows up here as `store_hits`).
+//!
+//! Malformed lines never kill the connection: they are answered with
+//! `{"ok":false,"kind":"error","message":...}` and the server reads on.
+//!
+//! # Shutdown
+//!
+//! [`request_shutdown`] flips a process-wide flag (async-signal-safe — the
+//! `selcached` binary calls it from its SIGINT/SIGTERM handlers); the
+//! accept loop and every connection handler poll it, so in-flight requests
+//! finish, sockets drain, and [`Server::run`] returns after removing the
+//! socket file. The `shutdown` op does the same from the wire.
+use crate::engine_stats_json;
+use crate::json::Json;
+use crate::parse_benchmark;
+use selcache_core::{
+    AssistKind, ConfigVariant, EngineStats, JobEngine, Scale, SimJob, SimResult, Version,
+};
+use std::io::{self, Read, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Process-wide shutdown latch; see [`request_shutdown`].
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+/// How often idle loops (accept, blocked reads) re-check [`SHUTDOWN`].
+const POLL: Duration = Duration::from_millis(25);
+
+/// Hard cap on bytes buffered for a single request line; a client that
+/// exceeds it gets an error and is disconnected.
+const MAX_LINE: usize = 1 << 20;
+
+/// Asks the server (and every open connection) to wind down. Safe to call
+/// from a signal handler: it is a single atomic store.
+pub fn request_shutdown() {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+/// Whether [`request_shutdown`] has been called.
+pub fn shutdown_requested() -> bool {
+    SHUTDOWN.load(Ordering::SeqCst)
+}
+
+/// Re-arms the latch so a test (or a supervisor restarting the service
+/// in-process) can run another [`Server`].
+pub fn reset_shutdown() {
+    SHUTDOWN.store(false, Ordering::SeqCst);
+}
+
+/// Server-lifetime counters, summed over every `run` request.
+#[derive(Debug, Default, Clone, Copy)]
+struct Totals {
+    connections: u64,
+    requests: u64,
+    jobs: u64,
+    executed: u64,
+    dedup_hits: u64,
+    store_hits: u64,
+    store_misses: u64,
+    bytes_written: u64,
+}
+
+impl Totals {
+    fn absorb(&mut self, stats: &EngineStats) {
+        self.requests += 1;
+        self.jobs += stats.submitted as u64;
+        self.executed += stats.executed as u64;
+        self.dedup_hits += stats.dedup_hits as u64;
+        self.store_hits += stats.store_hits as u64;
+        self.store_misses += stats.store_misses as u64;
+        self.bytes_written += stats.bytes_written;
+    }
+}
+
+/// Shared server state: the engine (itself freely shareable — its store
+/// writes are atomic) plus the lifetime totals.
+struct ServerState {
+    engine: JobEngine,
+    totals: Mutex<Totals>,
+}
+
+/// A bound `selcached` listener; [`Server::run`] serves until shutdown.
+pub struct Server {
+    listener: UnixListener,
+    path: PathBuf,
+    state: Arc<ServerState>,
+}
+
+impl Server {
+    /// Binds the service socket, replacing a stale socket file if one is
+    /// left over from a previous run.
+    pub fn bind(path: &Path, engine: JobEngine) -> io::Result<Server> {
+        match std::fs::remove_file(path) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        let listener = UnixListener::bind(path)?;
+        listener.set_nonblocking(true)?;
+        let state = Arc::new(ServerState { engine, totals: Mutex::new(Totals::default()) });
+        Ok(Server { listener, path: path.to_path_buf(), state })
+    }
+
+    /// The socket path this server is bound to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Accepts and serves connections until [`request_shutdown`] (from a
+    /// signal handler or a `shutdown` request). In-flight connections are
+    /// drained before this returns; the socket file is removed.
+    pub fn run(&self) -> io::Result<()> {
+        let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        while !shutdown_requested() {
+            match self.listener.accept() {
+                Ok((stream, _addr)) => {
+                    let state = Arc::clone(&self.state);
+                    if let Ok(mut totals) = state.totals.lock() {
+                        totals.connections += 1;
+                    }
+                    handlers.push(std::thread::spawn(move || handle_conn(stream, &state)));
+                    handlers.retain(|h| !h.is_finished());
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(POLL);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        for h in handlers {
+            let _ = h.join();
+        }
+        let _ = std::fs::remove_file(&self.path);
+        Ok(())
+    }
+}
+
+/// Serves one connection: reads newline-delimited requests, answers each,
+/// exits on EOF, error, or shutdown. Reads use a short timeout so an idle
+/// connection notices [`request_shutdown`] promptly.
+fn handle_conn(mut stream: UnixStream, state: &ServerState) {
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_read_timeout(Some(POLL));
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+            let line: Vec<u8> = buf.drain(..=pos).collect();
+            match serve_line(&line, state, &mut stream) {
+                Ok(false) => {}
+                Ok(true) | Err(_) => return,
+            }
+        }
+        if buf.len() > MAX_LINE {
+            let _ = write_line(&mut stream, &error_json("request line exceeds 1 MiB"));
+            return;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                // EOF; a final un-terminated line still gets an answer.
+                if !buf.is_empty() {
+                    let line = std::mem::take(&mut buf);
+                    let _ = serve_line(&line, state, &mut stream);
+                }
+                return;
+            }
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if shutdown_requested() {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Parses and answers one request line. Returns `Ok(true)` when the
+/// connection should close (the `shutdown` op).
+fn serve_line(raw: &[u8], state: &ServerState, out: &mut UnixStream) -> io::Result<bool> {
+    let line = String::from_utf8_lossy(raw);
+    let line = line.trim();
+    if line.is_empty() {
+        return Ok(false);
+    }
+    let req = match Json::parse(line) {
+        Ok(j) => j,
+        Err(e) => {
+            write_line(out, &error_json(&format!("bad JSON: {e}")))?;
+            return Ok(false);
+        }
+    };
+    let op = req.get("op").and_then(Json::as_str).unwrap_or("");
+    match op {
+        "ping" => {
+            write_line(out, &Json::obj([("ok", Json::Bool(true)), ("kind", Json::str("pong"))]))?;
+            Ok(false)
+        }
+        "stats" => {
+            let totals = *state.totals.lock().expect("totals lock");
+            write_line(out, &stats_json(state, &totals))?;
+            Ok(false)
+        }
+        "shutdown" => {
+            write_line(out, &Json::obj([("ok", Json::Bool(true)), ("kind", Json::str("bye"))]))?;
+            request_shutdown();
+            Ok(true)
+        }
+        "run" => {
+            serve_run(&req, state, out)?;
+            Ok(false)
+        }
+        other => {
+            write_line(
+                out,
+                &error_json(&format!("unknown op {other:?}; use ping | stats | run | shutdown")),
+            )?;
+            Ok(false)
+        }
+    }
+}
+
+/// Answers a `run` request: parse every job up front (one bad job fails
+/// the whole request, nothing is simulated), execute through the shared
+/// engine, stream per-job result lines, close with a `done` line.
+fn serve_run(req: &Json, state: &ServerState, out: &mut UnixStream) -> io::Result<()> {
+    let Some(specs) = req.get("jobs").and_then(Json::as_arr) else {
+        return write_line(out, &error_json("run needs a \"jobs\" array"));
+    };
+    let profiled = matches!(req.get("profiled"), Some(Json::Bool(true)));
+    let mut jobs: Vec<SimJob> = Vec::with_capacity(specs.len());
+    for (i, spec) in specs.iter().enumerate() {
+        match job_from_json(spec) {
+            Ok(job) => jobs.push(job),
+            Err(msg) => return write_line(out, &error_json(&format!("jobs[{i}]: {msg}"))),
+        }
+    }
+    let (results, stats) = if profiled {
+        state.engine.run_profiled_with_stats(&jobs)
+    } else {
+        state.engine.run_with_stats(&jobs)
+    };
+    state.totals.lock().expect("totals lock").absorb(&stats);
+    for (i, r) in results.iter().enumerate() {
+        write_line(out, &result_json(i, &jobs[i], r))?;
+    }
+    write_line(
+        out,
+        &Json::obj([
+            ("ok", Json::Bool(true)),
+            ("kind", Json::str("done")),
+            ("jobs", Json::UInt(results.len() as u64)),
+            ("engine", engine_stats_json(&stats)),
+        ]),
+    )
+}
+
+/// One `result` response line: the job's identity echo plus the headline
+/// counters (full per-region detail stays with the `regions` binary).
+fn result_json(index: usize, job: &SimJob, r: &SimResult) -> Json {
+    let mut pairs = vec![
+        ("ok", Json::Bool(true)),
+        ("kind", Json::str("result")),
+        ("index", Json::UInt(index as u64)),
+        ("benchmark", Json::str(job.benchmark.name())),
+        ("job_id", Json::str(r.job_id.map(|id| id.to_string()).unwrap_or_default())),
+        ("cycles", Json::UInt(r.cycles)),
+        ("instructions", Json::UInt(r.instructions)),
+        ("l1d_miss_pct", Json::Num(r.l1_miss_pct())),
+        ("l2_miss_pct", Json::Num(r.l2_miss_pct())),
+    ];
+    if let Some(profile) = &r.regions {
+        pairs.push(("regions", Json::UInt(profile.regions().len() as u64)));
+    }
+    Json::obj(pairs)
+}
+
+/// The `stats` response: lifetime totals plus the engine's shape.
+fn stats_json(state: &ServerState, totals: &Totals) -> Json {
+    let store = match state.engine.store() {
+        Some(s) => Json::str(s.root().display().to_string()),
+        None => Json::Bool(false),
+    };
+    Json::obj([
+        ("ok", Json::Bool(true)),
+        ("kind", Json::str("stats")),
+        ("connections", Json::UInt(totals.connections)),
+        ("requests", Json::UInt(totals.requests)),
+        ("jobs", Json::UInt(totals.jobs)),
+        ("executed", Json::UInt(totals.executed)),
+        ("dedup_hits", Json::UInt(totals.dedup_hits)),
+        ("store_hits", Json::UInt(totals.store_hits)),
+        ("store_misses", Json::UInt(totals.store_misses)),
+        ("bytes_written", Json::UInt(totals.bytes_written)),
+        ("threads", Json::UInt(state.engine.threads() as u64)),
+        ("store", store),
+    ])
+}
+
+fn error_json(msg: &str) -> Json {
+    Json::obj([
+        ("ok", Json::Bool(false)),
+        ("kind", Json::str("error")),
+        ("message", Json::str(msg)),
+    ])
+}
+
+fn write_line(out: &mut UnixStream, j: &Json) -> io::Result<()> {
+    let mut text = j.to_string();
+    text.push('\n');
+    out.write_all(text.as_bytes())
+}
+
+/// Canonicalizes a protocol token the same way [`parse_benchmark`] does:
+/// lowercase alphanumerics only, so `"Higher L2 Assoc"`, `"higher-l2-assoc"`
+/// and `"HIGHERL2ASSOC"` all agree.
+fn canon(s: &str) -> String {
+    s.chars().filter(char::is_ascii_alphanumeric).collect::<String>().to_ascii_lowercase()
+}
+
+fn parse_machine(s: &str) -> Option<ConfigVariant> {
+    ConfigVariant::ALL.into_iter().find(|v| canon(&format!("{v:?}")) == canon(s))
+}
+
+fn parse_version(s: &str) -> Option<Version> {
+    match canon(s).as_str() {
+        "base" => Some(Version::Base),
+        "purehardware" | "purehw" => Some(Version::PureHardware),
+        "puresoftware" | "puresw" => Some(Version::PureSoftware),
+        "combined" => Some(Version::Combined),
+        "selective" => Some(Version::Selective),
+        _ => None,
+    }
+}
+
+fn parse_assist(s: &str) -> Option<AssistKind> {
+    match canon(s).as_str() {
+        "none" => Some(AssistKind::None),
+        "bypass" => Some(AssistKind::Bypass),
+        "victim" => Some(AssistKind::Victim),
+        "stream" => Some(AssistKind::Stream),
+        _ => None,
+    }
+}
+
+/// Builds a [`SimJob`] from a protocol job object. `benchmark` and
+/// `version` are required; `scale` defaults to `tiny`, `machine` to the
+/// base configuration, `assist` to `bypass` (the paper's primary assist).
+fn job_from_json(spec: &Json) -> Result<SimJob, String> {
+    let field = |key: &str| spec.get(key).and_then(Json::as_str);
+    let benchmark = match field("benchmark") {
+        Some(s) => parse_benchmark(s).ok_or_else(|| format!("unknown benchmark {s:?}"))?,
+        None => return Err("missing \"benchmark\"".into()),
+    };
+    let version = match field("version") {
+        Some(s) => parse_version(s).ok_or_else(|| format!("unknown version {s:?}"))?,
+        None => return Err("missing \"version\"".into()),
+    };
+    let scale = match field("scale") {
+        Some(s) => Scale::parse(s).ok_or_else(|| format!("unknown scale {s:?}"))?,
+        None => Scale::Tiny,
+    };
+    let machine = match field("machine") {
+        Some(s) => parse_machine(s).ok_or_else(|| format!("unknown machine {s:?}"))?.machine(),
+        None => ConfigVariant::Base.machine(),
+    };
+    let assist = match field("assist") {
+        Some(s) => parse_assist(s).ok_or_else(|| format!("unknown assist {s:?}"))?,
+        None => AssistKind::Bypass,
+    };
+    Ok(SimJob::new(benchmark, scale, machine, assist, version))
+}
+
+/// Client side of the protocol: connect, send one request line, close the
+/// write half, and stream every response line into `out` until the server
+/// hangs up. This is `selcached --once` (and what the integration tests
+/// drive).
+pub fn request_once(path: &Path, line: &str, out: &mut impl Write) -> io::Result<()> {
+    let mut stream = UnixStream::connect(path)?;
+    stream.write_all(line.trim().as_bytes())?;
+    stream.write_all(b"\n")?;
+    stream.shutdown(std::net::Shutdown::Write)?;
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response)?;
+    out.write_all(&response)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protocol_tokens_parse() {
+        assert_eq!(parse_machine("base"), Some(ConfigVariant::Base));
+        assert_eq!(parse_machine("higher-l2-assoc"), Some(ConfigVariant::HigherL2Assoc));
+        assert_eq!(parse_machine("Larger L1"), Some(ConfigVariant::LargerL1));
+        assert_eq!(parse_machine("nope"), None);
+        assert_eq!(parse_version("pure-software"), Some(Version::PureSoftware));
+        assert_eq!(parse_version("PureHW"), Some(Version::PureHardware));
+        assert_eq!(parse_assist("victim"), Some(AssistKind::Victim));
+        assert_eq!(parse_assist(""), None);
+    }
+
+    #[test]
+    fn job_parsing_defaults_and_errors() {
+        let spec = Json::parse(r#"{"benchmark":"vpenta","version":"selective"}"#).unwrap();
+        let job = job_from_json(&spec).unwrap();
+        assert_eq!(job.scale, Scale::Tiny);
+        assert_eq!(job.assist, AssistKind::Bypass);
+        assert!(job.same_execution(&SimJob::new(
+            selcache_core::Benchmark::Vpenta,
+            Scale::Tiny,
+            ConfigVariant::Base.machine(),
+            AssistKind::Bypass,
+            Version::Selective,
+        )));
+
+        let bad = Json::parse(r#"{"benchmark":"vpenta"}"#).unwrap();
+        assert!(job_from_json(&bad).unwrap_err().contains("version"));
+        let bad = Json::parse(r#"{"version":"base","benchmark":"whom"}"#).unwrap();
+        assert!(job_from_json(&bad).unwrap_err().contains("whom"));
+    }
+}

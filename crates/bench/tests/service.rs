@@ -1,0 +1,185 @@
+//! In-process integration test of the `selcached` service: a server on a
+//! temp socket, concurrent clients with overlapping job sets, cross-client
+//! dedup through the shared store, and graceful shutdown.
+#![cfg(unix)]
+
+use selcache_bench::json::Json;
+use selcache_bench::service::{self, Server};
+use selcache_core::{JobEngine, Store};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// The shutdown latch is process-wide, so tests that run a server must not
+/// overlap; each takes this lock for its whole body.
+static SERVER_LOCK: Mutex<()> = Mutex::new(());
+
+/// A self-cleaning scratch directory (same pattern as the core store
+/// tests: temp_dir + pid + sequence number).
+struct TempRoot(PathBuf);
+
+impl TempRoot {
+    fn new(tag: &str) -> TempRoot {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let path = std::env::temp_dir().join(format!(
+            "selcached-test-{tag}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&path).expect("create temp root");
+        TempRoot(path)
+    }
+}
+
+impl Drop for TempRoot {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Sends one request line and returns the parsed response lines.
+fn request(sock: &Path, line: &str) -> Vec<Json> {
+    let mut out = Vec::new();
+    service::request_once(sock, line, &mut out).expect("request");
+    let text = String::from_utf8(out).expect("utf8 response");
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| Json::parse(l).unwrap_or_else(|e| panic!("bad response line {l:?}: {e}")))
+        .collect()
+}
+
+fn kind(j: &Json) -> &str {
+    j.get("kind").and_then(Json::as_str).unwrap_or("")
+}
+
+fn uint(j: &Json, key: &str) -> u64 {
+    j.get(key).and_then(Json::as_u64).unwrap_or_else(|| panic!("missing uint {key} in {j}"))
+}
+
+/// Connect-retry until the server thread has bound the socket.
+fn await_server(sock: &Path) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        if std::os::unix::net::UnixStream::connect(sock).is_ok() {
+            return;
+        }
+        assert!(Instant::now() < deadline, "server never came up on {}", sock.display());
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn concurrent_clients_share_one_store() {
+    let _guard = SERVER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    service::reset_shutdown();
+    let root = TempRoot::new("svc");
+    let sock = root.0.join("selcached.sock");
+    let store = Store::open(root.0.join("store")).expect("open store");
+    let server = Server::bind(&sock, JobEngine::with_store(2, store)).expect("bind");
+    let server_thread = std::thread::spawn(move || server.run().expect("server run"));
+    await_server(&sock);
+
+    // Bad input is answered, not fatal: the connection and server live on.
+    let lines = request(&sock, "this is not json");
+    assert_eq!(lines.len(), 1);
+    assert_eq!(kind(&lines[0]), "error");
+    let lines = request(&sock, r#"{"op":"run","jobs":[{"benchmark":"nope","version":"base"}]}"#);
+    assert_eq!(kind(&lines[0]), "error");
+    let lines = request(&sock, r#"{"op":"ping"}"#);
+    assert_eq!(kind(&lines[0]), "pong");
+
+    // Warm one job so the later concurrent clients deterministically see
+    // cross-client store hits no matter how their runs interleave.
+    const SHARED: &str = r#"{"benchmark":"vpenta","scale":"tiny","machine":"base","assist":"bypass","version":"selective"}"#;
+    let warm = request(&sock, &format!(r#"{{"op":"run","jobs":[{SHARED}]}}"#));
+    assert_eq!(warm.len(), 2, "one result line + one done line: {warm:?}");
+    assert_eq!(kind(&warm[0]), "result");
+    assert_eq!(warm[0].get("benchmark").and_then(Json::as_str), Some("Vpenta"));
+    let warm_id = warm[0].get("job_id").and_then(Json::as_str).expect("job_id").to_string();
+    assert_eq!(warm_id.len(), 32, "job_id is a 128-bit hex string: {warm_id}");
+    assert_eq!(kind(&warm[1]), "done");
+    assert_eq!(uint(warm[1].get("engine").expect("engine"), "store_misses"), 1);
+
+    // Two concurrent clients, overlapping job sets: both include the warmed
+    // job plus a private one.
+    let mk_req = |private: &str| {
+        format!(
+            r#"{{"op":"run","jobs":[{SHARED},{{"benchmark":{private:?},"scale":"tiny","version":"base"}}]}}"#
+        )
+    };
+    let sock_a = sock.clone();
+    let req_a = mk_req("adi");
+    let client_a = std::thread::spawn(move || request(&sock_a, &req_a));
+    let sock_b = sock.clone();
+    let req_b = mk_req("swim");
+    let client_b = std::thread::spawn(move || request(&sock_b, &req_b));
+    let lines_a = client_a.join().expect("client a");
+    let lines_b = client_b.join().expect("client b");
+
+    for (label, lines) in [("a", &lines_a), ("b", &lines_b)] {
+        assert_eq!(lines.len(), 3, "client {label}: 2 results + done: {lines:?}");
+        assert_eq!(kind(&lines[0]), "result");
+        assert_eq!(kind(&lines[1]), "result");
+        assert_eq!(uint(&lines[0], "index"), 0);
+        assert_eq!(uint(&lines[1], "index"), 1);
+        // The shared job is already in the store: each client's engine run
+        // reports at least that one store hit — dedup across clients.
+        let engine = lines[2].get("engine").expect("done.engine");
+        assert!(
+            uint(engine, "store_hits") >= 1,
+            "client {label} should hit the warmed entry: {engine}"
+        );
+        // Shared identity resolves to the same job_id for every client.
+        assert_eq!(lines[0].get("job_id").and_then(Json::as_str), Some(warm_id.as_str()));
+        assert!(uint(&lines[0], "cycles") > 0);
+    }
+
+    // Lifetime stats aggregate all of it.
+    let stats = request(&sock, r#"{"op":"stats"}"#);
+    assert_eq!(stats.len(), 1);
+    let s = &stats[0];
+    assert_eq!(kind(s), "stats");
+    assert_eq!(uint(s, "jobs"), 5, "1 warm + 2 + 2: {s}");
+    assert_eq!(uint(s, "requests"), 3);
+    assert!(uint(s, "store_hits") >= 2, "both clients hit the shared entry: {s}");
+    // 3 unique identities were ever simulated (shared, adi, swim).
+    assert_eq!(uint(s, "executed"), 3);
+    assert!(uint(s, "bytes_written") > 0);
+    assert!(s.get("store").and_then(Json::as_str).is_some(), "stats names the store root");
+
+    // Graceful shutdown over the wire: server thread exits, socket is gone.
+    let bye = request(&sock, r#"{"op":"shutdown"}"#);
+    assert_eq!(kind(&bye[0]), "bye");
+    server_thread.join().expect("server thread");
+    assert!(!sock.exists(), "socket file removed on shutdown");
+    service::reset_shutdown();
+}
+
+#[test]
+fn profiled_requests_report_regions() {
+    let _guard = SERVER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    service::reset_shutdown();
+    // A store-less engine also covers that configuration of the service.
+    let root = TempRoot::new("prof");
+    let sock = root.0.join("prof.sock");
+    let server = Server::bind(&sock, JobEngine::new(1)).expect("bind");
+    let server_thread = std::thread::spawn(move || server.run().expect("server run"));
+    await_server(&sock);
+
+    let lines = request(
+        &sock,
+        r#"{"op":"run","profiled":true,"jobs":[{"benchmark":"adi","scale":"tiny","version":"selective"}]}"#,
+    );
+    assert_eq!(lines.len(), 2);
+    assert_eq!(kind(&lines[0]), "result");
+    assert!(uint(&lines[0], "regions") > 0, "profiled result carries regions: {}", lines[0]);
+    let engine = lines[1].get("engine").expect("engine");
+    assert_eq!(uint(engine, "store_hits"), 0);
+    assert_eq!(uint(engine, "bytes_written"), 0, "no store attached");
+
+    let bye = request(&sock, r#"{"op":"shutdown"}"#);
+    assert_eq!(kind(&bye[0]), "bye");
+    server_thread.join().expect("server thread");
+    service::reset_shutdown();
+}

@@ -38,15 +38,19 @@
 //! ```
 
 use crate::config::MachineConfig;
+use crate::identity::{Canon, CanonWriter, JobId};
 use crate::runner::{default_opt, simulate, simulate_profiled, SimResult, Version};
+use crate::store::Store;
 use selcache_compiler::{optimize, region_partition, selective, OptConfig};
 use selcache_ir::Program;
 use selcache_mem::AssistKind;
 use selcache_workloads::{Benchmark, Scale};
+use std::collections::HashMap;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::thread;
+use std::time::Instant;
 
 /// One simulation request: a program source, the machine it runs on, the
 /// assist under study, and the simulated version (Section 4.3).
@@ -88,6 +92,21 @@ impl SimJob {
     pub fn with_opt(mut self, opt: OptConfig) -> SimJob {
         self.opt = opt;
         self
+    }
+
+    /// The job's stable 128-bit execution-identity hash: the engine's
+    /// dedup key, the [`Store`] address, and the `job_id` echoed in
+    /// results and reports. Two jobs share an id exactly when
+    /// [`SimJob::same_execution`] holds.
+    pub fn job_id(&self) -> JobId {
+        JobId::of_bytes(&ExecKey::of(self).canonical_bytes())
+    }
+
+    /// Structural execution-identity equality: whether the engine would
+    /// answer both jobs from one simulation (same prepared program,
+    /// machine, effective assist, and initial assist state).
+    pub fn same_execution(&self, other: &SimJob) -> bool {
+        ExecKey::of(self) == ExecKey::of(other)
     }
 }
 
@@ -185,6 +204,32 @@ impl ExecKey {
             assist_enabled: job.version.initially_enabled(),
         }
     }
+
+    /// The key's canonical byte serialization: a schema-tagged, injective
+    /// encoding of every field this type's `PartialEq` compares. Hashing
+    /// it yields the job's [`JobId`]; the bytes themselves are echoed into
+    /// store envelopes so a (vanishingly unlikely) hash collision degrades
+    /// to a store miss instead of a wrong result.
+    fn canonical_bytes(&self) -> Vec<u8> {
+        let mut w = CanonWriter::new();
+        // ProgramKey, in declaration order.
+        self.program.benchmark.canon(&mut w);
+        self.program.scale.canon(&mut w);
+        w.u8(match self.program.prep {
+            PrepKind::Raw => 0,
+            PrepKind::Optimized => 1,
+            PrepKind::Selective => 2,
+        });
+        w.opt(&self.program.opt);
+        // MachineConfig: cpu, mem, and the name (its `PartialEq` compares
+        // the name too, and the old structural dedup inherited that).
+        self.machine.cpu.canon(&mut w);
+        self.machine.mem.canon(&mut w);
+        w.str(self.machine.name);
+        self.assist.canon(&mut w);
+        w.bool(self.assist_enabled);
+        w.finish()
+    }
 }
 
 /// A normalized job set: the dedup work [`JobEngine`] does before any
@@ -194,6 +239,11 @@ struct ExecPlan {
     unique: Vec<ExecKey>,
     /// For each submitted job, the index of its identity in `unique`.
     slot: Vec<usize>,
+    /// For each unique identity, its canonical byte serialization (the
+    /// hash preimage, echoed into store envelopes).
+    identities: Vec<Vec<u8>>,
+    /// For each unique identity, its stable 128-bit id.
+    ids: Vec<JobId>,
     /// Distinct programs to prepare, in first-appearance order.
     prog_keys: Vec<ProgramKey>,
     /// For each unique identity, the index of its program in `prog_keys`.
@@ -202,18 +252,31 @@ struct ExecPlan {
 
 impl ExecPlan {
     fn of(jobs: &[SimJob]) -> ExecPlan {
-        // Normalize and deduplicate. Job sets are small (hundreds at most:
-        // benchmarks x versions x machines), so linear-scan identity maps
-        // beat hashing the f64-bearing config structs.
+        // Normalize and deduplicate on the canonical-identity hash. The
+        // hash doubles as the on-disk store address, so dedup and the
+        // persistent cache agree by construction; the debug assert (and
+        // the identity-agreement property test) pin the hash to the
+        // structural equality it replaced.
+        let mut by_id: HashMap<u128, usize> = HashMap::with_capacity(jobs.len());
         let mut unique: Vec<ExecKey> = Vec::new();
+        let mut identities: Vec<Vec<u8>> = Vec::new();
+        let mut ids: Vec<JobId> = Vec::new();
         let mut slot: Vec<usize> = Vec::with_capacity(jobs.len());
         for job in jobs {
             let key = ExecKey::of(job);
-            match unique.iter().position(|u| *u == key) {
-                Some(k) => slot.push(k),
+            let bytes = key.canonical_bytes();
+            let id = JobId::of_bytes(&bytes);
+            match by_id.get(&id.as_u128()) {
+                Some(&k) => {
+                    debug_assert_eq!(unique[k], key, "hash dedup must agree with structural dedup");
+                    slot.push(k);
+                }
                 None => {
+                    by_id.insert(id.as_u128(), unique.len());
+                    slot.push(unique.len());
                     unique.push(key);
-                    slot.push(unique.len() - 1);
+                    identities.push(bytes);
+                    ids.push(id);
                 }
             }
         }
@@ -228,7 +291,7 @@ impl ExecPlan {
                 }
             })
             .collect();
-        ExecPlan { unique, slot, prog_keys, prog_of }
+        ExecPlan { unique, slot, identities, ids, prog_keys, prog_of }
     }
 }
 
@@ -237,25 +300,36 @@ impl ExecPlan {
 pub struct EngineStats {
     /// Jobs submitted.
     pub submitted: usize,
-    /// Unique simulations actually executed.
+    /// Simulations actually executed (unique identities minus store hits —
+    /// a fully warm store runs zero).
     pub executed: usize,
-    /// Jobs answered from another job's execution
-    /// (`submitted - executed`).
+    /// Jobs answered from another job's execution in the same set.
     pub dedup_hits: usize,
     /// Distinct programs built and compiled.
     pub programs_prepared: usize,
+    /// Unique identities answered from the persistent result store
+    /// (always 0 without a store).
+    pub store_hits: usize,
+    /// Unique identities the store was consulted for and did not have
+    /// (always 0 without a store).
+    pub store_misses: usize,
+    /// Bytes of new store entries written by this run.
+    pub bytes_written: u64,
     /// Worker threads the engine was configured with.
     pub threads: usize,
 }
 
-/// Executes [`SimJob`] sets with deduplication on a fixed-size thread pool.
+/// Executes [`SimJob`] sets with deduplication on a fixed-size thread pool,
+/// optionally backed by a persistent [`Store`].
 ///
 /// Results are returned in submission order and are bit-identical for
-/// every thread count (each simulation is deterministic and jobs share no
-/// mutable state).
+/// every thread count and any store state (each simulation is
+/// deterministic, jobs share no mutable state, and stored results echo
+/// the simulation that produced them exactly).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JobEngine {
     threads: usize,
+    store: Option<Store>,
 }
 
 impl JobEngine {
@@ -264,12 +338,27 @@ impl JobEngine {
     /// `threads == 0` is promoted to [`JobEngine::default_parallelism`].
     pub fn new(threads: usize) -> JobEngine {
         let threads = if threads == 0 { Self::default_parallelism() } else { threads };
-        JobEngine { threads }
+        JobEngine { threads, store: None }
+    }
+
+    /// An engine backed by a persistent result store: unique identities
+    /// already in the store are answered without simulating (or even
+    /// preparing their programs), and everything newly simulated is
+    /// written back. Output is byte-identical to a store-less engine.
+    pub fn with_store(threads: usize, store: Store) -> JobEngine {
+        let mut engine = JobEngine::new(threads);
+        engine.store = Some(store);
+        engine
+    }
+
+    /// The attached result store, if any.
+    pub fn store(&self) -> Option<&Store> {
+        self.store.as_ref()
     }
 
     /// A single-threaded engine.
     pub fn serial() -> JobEngine {
-        JobEngine { threads: 1 }
+        JobEngine { threads: 1, store: None }
     }
 
     /// The machine's available parallelism (1 if it cannot be queried).
@@ -300,9 +389,16 @@ impl JobEngine {
         self.execute(jobs, false)
     }
 
+    /// Like [`JobEngine::run_profiled`], additionally reporting the same
+    /// counters as [`JobEngine::run_with_stats`].
+    pub fn run_profiled_with_stats(&self, jobs: &[SimJob]) -> (Vec<SimResult>, EngineStats) {
+        self.execute(jobs, true)
+    }
+
     /// Normalizes a job set without executing anything: the counters
-    /// [`JobEngine::run_with_stats`] would report — how many unique
-    /// simulations and distinct prepared programs the set needs.
+    /// [`JobEngine::run_with_stats`] would report on a cold (or absent)
+    /// store — how many unique simulations and distinct prepared programs
+    /// the set needs. The store is not consulted.
     pub fn dry_run(&self, jobs: &[SimJob]) -> EngineStats {
         let plan = ExecPlan::of(jobs);
         EngineStats {
@@ -311,41 +407,99 @@ impl JobEngine {
             dedup_hits: jobs.len() - plan.unique.len(),
             programs_prepared: plan.prog_keys.len(),
             threads: self.threads,
+            ..EngineStats::default()
         }
     }
 
     fn execute(&self, jobs: &[SimJob], profiled: bool) -> (Vec<SimResult>, EngineStats) {
-        let ExecPlan { unique, slot, prog_keys, prog_of } = ExecPlan::of(jobs);
-        let programs = self.par_map(&prog_keys, ProgramKey::build);
+        let ExecPlan { unique, slot, identities, ids, prog_keys, prog_of } = ExecPlan::of(jobs);
 
-        // Execute each unique job once, in parallel.
-        let work: Vec<(usize, &ExecKey)> = prog_of.iter().copied().zip(unique.iter()).collect();
-        let results = self.par_map(&work, |&(prog, key)| {
-            if profiled {
+        // Consult the store first: a hit answers the identity without
+        // preparing or simulating anything. Profiled runs need region
+        // attribution, so region-less entries are misses (re-simulated and
+        // overwritten with regions); plain runs strip any stored regions
+        // so output stays byte-identical with the store-less engine.
+        let mut cached: Vec<Option<SimResult>> = Vec::with_capacity(unique.len());
+        if let Some(store) = &self.store {
+            for k in 0..unique.len() {
+                cached.push(store.get(ids[k], &identities[k]).and_then(|mut r| {
+                    if profiled && r.regions.is_none() {
+                        return None;
+                    }
+                    if !profiled {
+                        r.regions = None;
+                    }
+                    Some(r)
+                }));
+            }
+        } else {
+            cached.resize_with(unique.len(), || None);
+        }
+        let store_hits = cached.iter().filter(|c| c.is_some()).count();
+
+        // Prepare only the programs that store-missing identities execute
+        // (a fully warm store prepares none).
+        let needed: Vec<usize> = (0..unique.len()).filter(|&k| cached[k].is_none()).collect();
+        let mut prog_needed = vec![false; prog_keys.len()];
+        for &k in &needed {
+            prog_needed[prog_of[k]] = true;
+        }
+        let to_build: Vec<usize> = (0..prog_keys.len()).filter(|&p| prog_needed[p]).collect();
+        let built = self.par_map(&to_build, |&p| prog_keys[p].build());
+        let mut programs: Vec<Option<Program>> = (0..prog_keys.len()).map(|_| None).collect();
+        for (&p, program) in to_build.iter().zip(built) {
+            programs[p] = Some(program);
+        }
+
+        // Execute each store-missing unique job once, in parallel, timing
+        // every simulation for the store's envelope metadata.
+        let simulated = self.par_map(&needed, |&k| {
+            let key = &unique[k];
+            let program = programs[prog_of[k]].as_ref().expect("prepared above");
+            let start = Instant::now();
+            let result = if profiled {
                 let threshold = key
                     .program
                     .opt
                     .as_ref()
                     .map(|o| o.threshold)
                     .unwrap_or_else(|| OptConfig::default().threshold);
-                let map = region_partition(&programs[prog], threshold);
-                simulate_profiled(
-                    &key.machine,
-                    key.assist,
-                    key.assist_enabled,
-                    &programs[prog],
-                    &map,
-                )
+                let map = region_partition(program, threshold);
+                simulate_profiled(&key.machine, key.assist, key.assist_enabled, program, &map)
             } else {
-                simulate(&key.machine, key.assist, key.assist_enabled, &programs[prog])
-            }
+                simulate(&key.machine, key.assist, key.assist_enabled, program)
+            };
+            (result, start.elapsed().as_secs_f64() * 1e3)
         });
+
+        // Publish fresh results to the store and fill the remaining slots.
+        // A failed put (disk full, permissions) loses only persistence —
+        // the in-memory result is still returned.
+        let executed = needed.len();
+        let mut bytes_written = 0u64;
+        let mut per_unique = cached;
+        for (&k, (result, wall_ms)) in needed.iter().zip(simulated) {
+            if let Some(store) = &self.store {
+                if let Ok(bytes) = store.put(ids[k], &identities[k], &result, wall_ms) {
+                    bytes_written += bytes;
+                }
+            }
+            per_unique[k] = Some(result);
+        }
+        let mut results: Vec<SimResult> =
+            per_unique.into_iter().map(|r| r.expect("every identity answered")).collect();
+        for (result, &id) in results.iter_mut().zip(&ids) {
+            result.job_id = Some(id);
+        }
 
         let stats = EngineStats {
             submitted: jobs.len(),
-            executed: unique.len(),
+            executed,
             dedup_hits: jobs.len() - unique.len(),
-            programs_prepared: prog_keys.len(),
+            programs_prepared: to_build.len(),
+            store_hits,
+            store_misses: if self.store.is_some() { executed } else { 0 },
+            bytes_written,
             threads: self.threads,
         };
         (slot.into_iter().map(|k| results[k].clone()).collect(), stats)

@@ -46,25 +46,38 @@
 //! reuse-profiling trace pass per program version evaluates the whole
 //! `(size, associativity, line)` grid, with a sampled exact cross-check
 //! bounding the model error. See the [`sweep`](crate::SweepSpec) types.
+//!
+//! ## Persistent results
+//!
+//! Every job has a stable 128-bit [`JobId`] — the hash of its canonical
+//! execution-identity serialization ([`identity`]) — and a
+//! [`JobEngine::with_store`] engine persists results to a
+//! content-addressed [`Store`] keyed by it, so warm reruns of any table,
+//! figure, or sweep execute zero simulations.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod config;
 mod engine;
+pub mod identity;
+pub mod json;
 mod profile;
 mod report;
 mod runner;
+pub mod store;
 mod sweep;
 
 pub use config::{ConfigVariant, MachineConfig};
 pub use engine::{EngineStats, JobEngine, SimJob};
+pub use identity::JobId;
 pub use profile::{RegionProfile, RegionProfileProbe, RegionStats};
 pub use report::{
-    format_region_report, format_table3, table2, table2_with, table3_row, table3_rows,
-    BenchmarkRow, SuiteResult, Table3Row,
+    format_region_report, format_table3, table2, table2_with, table3_csv, table3_row, table3_rows,
+    table3_rows_with_stats, BenchmarkRow, SuiteResult, Table3Row,
 };
 pub use runner::{Experiment, ExperimentBuilder, SimResult, Version};
+pub use store::{GcReport, Store, StoreStats};
 pub use sweep::{
     l1_assoc_sweep, memory_latency_sweep, CheckSummary, PointCheck, PointData, Sweep, SweepAxis,
     SweepError, SweepMode, SweepPoint, SweepSpec, SweepWork, VersionedMiss,

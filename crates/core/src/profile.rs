@@ -94,6 +94,13 @@ pub struct RegionProfile {
 }
 
 impl RegionProfile {
+    /// Reassembles a profile from its buckets (used by the result store
+    /// when deserializing a profiled entry; the buckets must be in the
+    /// order [`RegionProfile::regions`] reported them).
+    pub fn from_regions(regions: Vec<RegionStats>) -> RegionProfile {
+        RegionProfile { regions }
+    }
+
     /// The per-region buckets (the last entry is the *(outside)* bucket).
     pub fn regions(&self) -> &[RegionStats] {
         &self.regions

@@ -8,7 +8,7 @@
 //! so shared runs (Base, PureSoftware) are simulated once.
 
 use crate::config::MachineConfig;
-use crate::engine::{JobEngine, SimJob};
+use crate::engine::{EngineStats, JobEngine, SimJob};
 use crate::runner::{SimResult, Version};
 use selcache_mem::AssistKind;
 use selcache_workloads::{Benchmark, Category, Scale};
@@ -327,15 +327,26 @@ pub fn table3_rows(
     scale: Scale,
     benchmarks: &[Benchmark],
 ) -> Vec<Table3Row> {
+    table3_rows_with_stats(engine, machines, scale, benchmarks).0
+}
+
+/// [`table3_rows`] plus the engine counters for the batched job set —
+/// dedup and (for store-backed engines) store hit/miss accounting.
+pub fn table3_rows_with_stats(
+    engine: &JobEngine,
+    machines: &[MachineConfig],
+    scale: Scale,
+    benchmarks: &[Benchmark],
+) -> (Vec<Table3Row>, EngineStats) {
     let mut jobs = Vec::new();
     for machine in machines {
         jobs.extend(SuiteResult::jobs(machine, AssistKind::Bypass, scale, benchmarks));
         jobs.extend(SuiteResult::jobs(machine, AssistKind::Victim, scale, benchmarks));
     }
-    let results = engine.run(&jobs);
+    let (results, stats) = engine.run_with_stats(&jobs);
 
     let per_suite = benchmarks.len() * JOBS_PER_BENCHMARK;
-    machines
+    let rows = machines
         .iter()
         .zip(results.chunks_exact(2 * per_suite))
         .map(|(machine, chunk)| {
@@ -353,7 +364,8 @@ pub fn table3_rows(
             );
             Table3Row::from_suites(&bypass, &victim)
         })
-        .collect()
+        .collect();
+    (rows, stats)
 }
 
 /// Computes one Table 3 row from the two assist sweeps of a machine.
@@ -399,6 +411,31 @@ pub fn format_table3(rows: &[Table3Row]) -> String {
         let _ = writeln!(
             out,
             "{:<17} {:>8.2} {:>8.2} {:>9.2} {:>10.2} {:>8.2} {:>9.2} {:>10.2}",
+            r.machine_name,
+            r.pure_software,
+            r.cache_bypass,
+            r.combined_bypass,
+            r.selective_bypass,
+            r.victim,
+            r.combined_victim,
+            r.selective_victim
+        );
+    }
+    out
+}
+
+/// Renders Table 3 rows as CSV (machine name plus the seven improvement
+/// averages) for external plotting, matching [`SuiteResult::to_csv`]'s
+/// style.
+pub fn table3_csv(rows: &[Table3Row]) -> String {
+    let mut out = String::from(
+        "machine,pure_sw,cache_bypass,combined_bypass,selective_bypass,\
+         victim,combined_victim,selective_victim\n",
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4}",
             r.machine_name,
             r.pure_software,
             r.cache_bypass,

@@ -63,6 +63,10 @@ pub struct SimResult {
     /// Per-region attribution, present when the run was profiled
     /// ([`Experiment::run_profiled`], [`JobEngine::run_profiled`]).
     pub regions: Option<RegionProfile>,
+    /// The stable execution-identity hash of the job that produced this
+    /// result. Populated by the [`JobEngine`] (which uses it as its dedup
+    /// key and store address); `None` for direct [`Experiment`] runs.
+    pub job_id: Option<crate::identity::JobId>,
 }
 
 impl SimResult {
@@ -115,6 +119,7 @@ pub(crate) fn simulate(
         cpu: stats,
         mem: mem.stats(),
         regions: None,
+        job_id: None,
     }
 }
 
@@ -143,6 +148,7 @@ pub(crate) fn simulate_profiled(
         cpu: stats,
         mem: mem.stats(),
         regions: Some(probe.finish()),
+        job_id: None,
     }
 }
 

@@ -41,7 +41,7 @@
 //! ```
 
 use crate::config::MachineConfig;
-use crate::engine::{JobEngine, SimJob};
+use crate::engine::{EngineStats, JobEngine, SimJob};
 use crate::runner::{default_opt, Version};
 use selcache_analysis::{CacheModel, ReuseProfiler, ReuseSpectrum};
 use selcache_compiler::optimize;
@@ -428,6 +428,7 @@ impl SweepSpec {
                 trace_passes: 0,
                 exact_sims: stats.executed,
             },
+            engine: stats,
         }
     }
 
@@ -521,6 +522,7 @@ impl SweepSpec {
                 trace_passes: versions.len(),
                 exact_sims: stats.executed,
             },
+            engine: stats,
         }
     }
 }
@@ -647,6 +649,9 @@ pub struct Sweep {
     pub check: Option<CheckSummary>,
     /// Work accounting: passes and simulations executed.
     pub work: SweepWork,
+    /// Engine counters for the sweep's job set (dedup and, for
+    /// store-backed engines, store hit/miss accounting).
+    pub engine: EngineStats,
 }
 
 impl Sweep {

@@ -1,0 +1,181 @@
+//! Integration tests of the persistent result store: envelope round-trip
+//! (with and without region profiles), corrupt-entry recovery, warm-store
+//! engine behavior (zero simulations, byte-identical results), and gc.
+
+use selcache_core::{
+    AssistKind, Benchmark, JobEngine, MachineConfig, Scale, SimJob, Store, Version,
+};
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A unique, self-cleaning store root under the system temp directory
+/// (no tempfile crate in the vendored-only workspace).
+struct TempRoot(PathBuf);
+
+impl TempRoot {
+    fn new(tag: &str) -> TempRoot {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir()
+            .join(format!("selcache-store-test-{tag}-{}-{seq}", std::process::id()));
+        TempRoot(dir)
+    }
+}
+
+impl Drop for TempRoot {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
+
+fn suite_jobs() -> Vec<SimJob> {
+    let machine = MachineConfig::base();
+    let mut jobs = Vec::new();
+    for bench in [Benchmark::Adi, Benchmark::Li] {
+        for version in [Version::Base, Version::PureHardware, Version::Selective] {
+            jobs.push(SimJob::new(
+                bench,
+                Scale::Tiny,
+                machine.clone(),
+                AssistKind::Bypass,
+                version,
+            ));
+        }
+    }
+    jobs
+}
+
+#[test]
+fn warm_store_executes_zero_simulations_with_identical_results() {
+    let root = TempRoot::new("warm");
+    let jobs = suite_jobs();
+
+    let cold_engine = JobEngine::with_store(1, Store::open(&root.0).unwrap());
+    let (cold, cold_stats) = cold_engine.run_with_stats(&jobs);
+    assert_eq!(cold_stats.store_hits, 0);
+    assert_eq!(cold_stats.store_misses, cold_stats.executed);
+    assert!(cold_stats.executed > 0);
+    assert!(cold_stats.bytes_written > 0);
+
+    // A fresh engine against the same root answers everything from disk:
+    // zero simulations, zero prepared programs, byte-identical results.
+    let warm_engine = JobEngine::with_store(1, Store::open(&root.0).unwrap());
+    let (warm, warm_stats) = warm_engine.run_with_stats(&jobs);
+    assert_eq!(warm_stats.executed, 0, "warm store must simulate nothing");
+    assert_eq!(warm_stats.programs_prepared, 0, "warm store must prepare nothing");
+    assert_eq!(warm_stats.store_hits, cold_stats.executed, "store_hits == unique jobs");
+    assert_eq!(warm_stats.store_misses, 0);
+    assert_eq!(warm_stats.bytes_written, 0);
+    assert_eq!(cold, warm, "stored results must echo the simulation exactly");
+
+    // And the store-less engine agrees with both.
+    let plain = JobEngine::serial().run(&jobs);
+    assert_eq!(plain, warm);
+}
+
+#[test]
+fn profiled_round_trip_preserves_regions() {
+    let root = TempRoot::new("profiled");
+    let jobs = vec![SimJob::new(
+        Benchmark::Adi,
+        Scale::Tiny,
+        MachineConfig::base(),
+        AssistKind::Bypass,
+        Version::Selective,
+    )];
+
+    let engine = JobEngine::with_store(1, Store::open(&root.0).unwrap());
+    // A plain run stores a region-less entry; the profiled run must treat
+    // it as a miss, re-simulate, and overwrite it with regions.
+    let (_, plain_stats) = engine.run_with_stats(&jobs);
+    assert_eq!(plain_stats.store_misses, 1);
+    let profiled_cold = engine.run_profiled(&jobs);
+    assert!(profiled_cold[0].regions.is_some());
+
+    // Now the entry carries regions: both profiled and plain reruns are
+    // pure hits, and the profile round-trips through JSON exactly.
+    let profiled_warm = engine.run_profiled(&jobs);
+    assert_eq!(profiled_warm, profiled_cold);
+    let (plain_warm, plain_warm_stats) = engine.run_with_stats(&jobs);
+    assert_eq!(plain_warm_stats.store_hits, 1);
+    assert_eq!(plain_warm_stats.executed, 0);
+    assert!(plain_warm[0].regions.is_none(), "plain runs never expose stored regions");
+}
+
+#[test]
+fn corrupt_and_stale_entries_are_misses_and_repaired() {
+    let root = TempRoot::new("corrupt");
+    let jobs = suite_jobs();
+    let engine = JobEngine::with_store(1, Store::open(&root.0).unwrap());
+    let (cold, cold_stats) = engine.run_with_stats(&jobs);
+
+    // Mangle one entry into invalid JSON and another into a stale schema.
+    let mut entries: Vec<PathBuf> = Vec::new();
+    for shard in fs::read_dir(&root.0).unwrap() {
+        let shard = shard.unwrap().path();
+        if shard.is_dir() {
+            for e in fs::read_dir(&shard).unwrap() {
+                entries.push(e.unwrap().path());
+            }
+        }
+    }
+    entries.sort();
+    assert_eq!(entries.len(), cold_stats.executed);
+    fs::write(&entries[0], "{ this is not json").unwrap();
+    fs::write(&entries[1], "{\"schema\":\"selcache-store/0\",\"result\":{}}\n").unwrap();
+
+    // Both damaged entries read as misses: the engine re-simulates just
+    // those two and heals the store, with results still byte-identical.
+    let (healed, healed_stats) = engine.run_with_stats(&jobs);
+    assert_eq!(healed_stats.executed, 2);
+    assert_eq!(healed_stats.store_hits, cold_stats.executed - 2);
+    assert_eq!(healed, cold);
+
+    // And a third run is fully warm again.
+    let (_, warm_stats) = engine.run_with_stats(&jobs);
+    assert_eq!(warm_stats.executed, 0);
+}
+
+#[test]
+fn gc_reclaims_corrupt_entries_and_temp_files() {
+    let root = TempRoot::new("gc");
+    let jobs = suite_jobs();
+    let engine = JobEngine::with_store(1, Store::open(&root.0).unwrap());
+    let (_, stats) = engine.run_with_stats(&jobs);
+    let store = engine.store().unwrap();
+
+    let before = store.stats();
+    assert_eq!(before.entries, stats.executed);
+    assert_eq!(before.bytes, stats.bytes_written);
+
+    // Plant a corrupt entry and an abandoned temp file in one shard.
+    let shard =
+        fs::read_dir(&root.0).unwrap().map(|e| e.unwrap().path()).find(|p| p.is_dir()).unwrap();
+    fs::write(shard.join("deadbeefdeadbeefdeadbeefdeadbeef.json"), "garbage").unwrap();
+    fs::write(shard.join(".tmp-999-0"), "partial write").unwrap();
+
+    let report = store.gc(None).unwrap();
+    assert_eq!(report.kept, stats.executed);
+    assert_eq!(report.removed, 1, "corrupt entry reclaimed");
+    assert_eq!(report.tmp_removed, 1, "abandoned temp file reclaimed");
+    assert!(report.bytes_freed > 0);
+
+    // An aggressive age cutoff clears everything.
+    let report = store.gc(Some(std::time::Duration::ZERO)).unwrap();
+    assert_eq!(report.kept + report.removed, stats.executed);
+    let after = store.stats();
+    assert_eq!(after.entries, report.kept);
+}
+
+#[test]
+fn results_carry_their_job_id() {
+    let root = TempRoot::new("ids");
+    let jobs = suite_jobs();
+    let engine = JobEngine::with_store(1, Store::open(&root.0).unwrap());
+    for results in [engine.run(&jobs), JobEngine::serial().run(&jobs)] {
+        for (job, result) in jobs.iter().zip(&results) {
+            assert_eq!(result.job_id, Some(job.job_id()), "engine results echo the job id");
+        }
+    }
+}
