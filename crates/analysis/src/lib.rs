@@ -40,12 +40,14 @@
 #![warn(missing_docs)]
 
 mod fenwick;
+mod interval;
 mod model;
 mod phase;
 mod profile;
 mod reuse;
 
 pub use fenwick::Fenwick;
+pub use interval::{select, IntervalConfig, IntervalFingerprint, IntervalProfiler, Representative};
 pub use model::{hit_probability, CacheModel, ReuseSpectrum};
 pub use phase::{Phase, PhaseConfig, PhaseDetector};
 pub use profile::{ArrayProfile, RegionProfiles, TraceProfile};

@@ -1,0 +1,147 @@
+//! Property tests for the phase detector and the interval selector built on
+//! the same working-set signatures: determinism under repeated runs, the
+//! signature-collision bound, and boundary placement accuracy on synthetic
+//! two-phase streams.
+
+use proptest::prelude::*;
+use selcache_analysis::{
+    select, IntervalConfig, IntervalProfiler, Phase, PhaseConfig, PhaseDetector,
+};
+use selcache_ir::Addr;
+
+fn cfg() -> PhaseConfig {
+    PhaseConfig { window: 128, block_size: 32, signature_bits: 512, threshold: 0.4 }
+}
+
+/// Deterministic pseudo-random block stream.
+fn stream(seed: u64, len: usize, footprint: u64) -> Vec<u64> {
+    let mut state = seed | 1;
+    (0..len)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 24) % footprint.max(1)
+        })
+        .collect()
+}
+
+fn detect(addrs: &[u64]) -> Vec<Phase> {
+    let mut d = PhaseDetector::new(cfg());
+    for &a in addrs {
+        d.record(Addr(a * 32));
+    }
+    d.finish()
+}
+
+proptest! {
+    /// The detector is a pure function of the stream: two runs over the same
+    /// accesses produce identical phases, and the phases tile the stream.
+    #[test]
+    fn detection_is_deterministic_and_tiles(
+        seed in any::<u64>(),
+        len in 1usize..4000,
+        footprint in 1u64..10_000,
+    ) {
+        let addrs = stream(seed, len, footprint);
+        let a = detect(&addrs);
+        let b = detect(&addrs);
+        prop_assert_eq!(&a, &b);
+        // Tiling: starts at 0, ends at len, contiguous, non-empty.
+        prop_assert_eq!(a[0].start, 0);
+        prop_assert_eq!(a.last().unwrap().end, len);
+        for w in a.windows(2) {
+            prop_assert_eq!(w[0].end, w[1].start);
+        }
+        prop_assert!(a.iter().all(|p| !p.is_empty()));
+    }
+
+    /// Interval selection is deterministic too, and its weights always
+    /// reconstruct the exact trace length regardless of the clustering
+    /// outcome — the invariant the sampled mode's extrapolation rests on.
+    #[test]
+    fn selection_weights_reconstruct_ops(
+        seed in any::<u64>(),
+        len in 1usize..4000,
+        footprint in 1u64..10_000,
+        k in 1usize..6,
+    ) {
+        let addrs = stream(seed, len, footprint);
+        let icfg = IntervalConfig {
+            interval_ops: 256,
+            max_intervals: k,
+            signature_bits: 512,
+            pc_buckets: 16,
+        };
+        let run = || {
+            let mut p = IntervalProfiler::new(icfg);
+            for (i, &a) in addrs.iter().enumerate() {
+                p.record(0x40_0000 + (i as u64 % 32) * 4, Some(Addr(a * 32)));
+            }
+            p.finish()
+        };
+        let fps = run();
+        prop_assert_eq!(&fps, &run());
+        let reps_a = select(&fps, k);
+        let reps_b = select(&fps, k);
+        prop_assert_eq!(&reps_a, &reps_b);
+        prop_assert!(!reps_a.is_empty() && reps_a.len() <= k);
+        let rebuilt: f64 = reps_a.iter().map(|r| r.weight * fps[r.interval].ops as f64).sum();
+        prop_assert!((rebuilt - len as f64).abs() < 1e-6, "rebuilt {} vs {}", rebuilt, len);
+    }
+
+    /// Signature-collision bound: the signature hashes blocks into a fixed
+    /// number of bits, so a larger working set forces collisions — but a
+    /// collision only merges bits, never creates spurious differences. Two
+    /// windows over the *same* block set (in different orders) always hash
+    /// to the same signature and can never split a phase, no matter how far
+    /// the set size exceeds the signature size.
+    #[test]
+    fn collision_bound_keeps_identical_windows_together(
+        seed in any::<u64>(),
+        distinct in 1u64..2000,
+        windows in 2usize..6,
+    ) {
+        // Window (2048) >= distinct, so each window covers the whole set;
+        // signature_bits (512) << distinct in the interesting cases.
+        let c = PhaseConfig { window: 2048, block_size: 32, signature_bits: 512, threshold: 0.4 };
+        let mut d = PhaseDetector::new(c);
+        for w in 0..windows {
+            let offset = (seed ^ w as u64) % distinct;
+            for i in 0..c.window as u64 {
+                d.record(Addr(((i + offset) % distinct) * 32));
+            }
+        }
+        let phases = d.finish();
+        prop_assert_eq!(phases.len(), 1, "same working set split into {} phases", phases.len());
+    }
+}
+
+#[test]
+fn two_phase_boundary_within_one_window() {
+    // A hard switch from one working set to a disjoint one midway through
+    // window 7 (at 7.5 windows). The window containing the switch overlaps
+    // both sets, so its Jaccard similarity to either pure neighbor is ~0.5;
+    // with a threshold above that, the detector cuts around the mixed
+    // window and every reported boundary lands within one window of the
+    // true switch point.
+    let c = PhaseConfig { window: 128, block_size: 32, signature_bits: 512, threshold: 0.55 };
+    let switch = c.window * 7 + c.window / 2;
+    let total = c.window * 16;
+    let mut d = PhaseDetector::new(c);
+    for i in 0..total {
+        let base = if i < switch { 0u64 } else { 0x100_0000 };
+        d.record(Addr(base + (i as u64 % 64) * 32));
+    }
+    let phases = d.finish();
+    assert!(
+        (2..=3).contains(&phases.len()),
+        "expected 2-3 phases around the switch, got {phases:?}"
+    );
+    for w in phases.windows(2) {
+        let boundary = w[0].end;
+        assert!(
+            boundary.abs_diff(switch) <= c.window,
+            "boundary {boundary} more than one window from true switch {switch}: {phases:?}"
+        );
+    }
+    assert!(phases[0].start == 0 && phases.last().unwrap().end == total);
+}

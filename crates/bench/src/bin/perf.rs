@@ -23,12 +23,17 @@
 //! speedup. `--store DIR` places the scratch store under `DIR` (CI points
 //! it at a tempdir); by default it lives under the system temp directory.
 //! The scratch store is deleted afterwards either way.
+//!
+//! A `sampled` cell times the Base/Selective pair of one benchmark at the
+//! largest configured scale, exact versus `SimMode::sampled()`, and
+//! reports the speedup plus the worst-case CPI and L1-miss-rate error of
+//! the weighted extrapolation.
 
 use selcache_bench::json::Json;
 use selcache_bench::ops_per_sec;
 use selcache_core::{
-    AssistKind, Benchmark, JobEngine, MachineConfig, Scale, SimJob, SimResult, Store, SweepAxis,
-    SweepMode, SweepSpec, Version,
+    AssistKind, Benchmark, JobEngine, MachineConfig, Scale, SimJob, SimMode, SimResult, Store,
+    SweepAxis, SweepMode, SweepSpec, Version,
 };
 use std::path::PathBuf;
 use std::time::Instant;
@@ -53,6 +58,12 @@ const TINY: [Benchmark; 4] = [Benchmark::Vpenta, Benchmark::Li, Benchmark::Perl,
 
 /// Benchmark the analytical sweep grid is timed on.
 const SWEEP_BENCH: Benchmark = Benchmark::TpcDQ6;
+
+/// Benchmark and scale the sampled-mode cell measures: the largest
+/// configured scale, where sampling pays off most (and where exact runs
+/// are still affordable enough to cross-check every artifact).
+const SAMPLED_BENCH: Benchmark = Benchmark::Vpenta;
+const SAMPLED_SCALE: Scale = Scale::Large;
 
 const USAGE: &str = "usage: perf [--subset tiny|full] [--threads N] [--out PATH] \
 [--baseline PATH] [--store DIR]";
@@ -184,6 +195,9 @@ fn main() {
             cells.push(cell);
         }
     }
+    // The artifact lists cells under a stable key order regardless of the
+    // subset's iteration order, so diffs between artifacts stay readable.
+    cells.sort_by_key(Cell::key);
 
     // Suite pass: the whole matrix through the parallel engine at once.
     let jobs: Vec<SimJob> =
@@ -272,6 +286,44 @@ fn main() {
         speedup_vs_exact,
     );
 
+    // Sampled-mode cell: the Base/Selective pair at the largest scale, run
+    // exact and then sampled, reporting the wall-clock speedup and the
+    // worst-case CPI / L1-miss-rate error of the weighted extrapolation.
+    let sampled_exact_jobs: Vec<SimJob> = VERSIONS
+        .iter()
+        .map(|&v| {
+            SimJob::new(SAMPLED_BENCH, SAMPLED_SCALE, MachineConfig::base(), AssistKind::Bypass, v)
+        })
+        .collect();
+    let sampled_jobs: Vec<SimJob> =
+        sampled_exact_jobs.iter().map(|j| j.clone().with_mode(SimMode::sampled())).collect();
+    let t0 = Instant::now();
+    let sampled_exact = serial.run(&sampled_exact_jobs);
+    let sampled_exact_secs = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let sampled_results = serial.run(&sampled_jobs);
+    let sampled_secs = t0.elapsed().as_secs_f64();
+    let mut max_cpi_err_pct: f64 = 0.0;
+    let mut max_l1_err_pts: f64 = 0.0;
+    for (e, s) in sampled_exact.iter().zip(&sampled_results) {
+        let cpi_exact = e.cycles as f64 / e.instructions as f64;
+        let cpi_sampled = s.cycles as f64 / s.instructions as f64;
+        max_cpi_err_pct = max_cpi_err_pct.max((cpi_sampled - cpi_exact).abs() / cpi_exact * 100.0);
+        max_l1_err_pts = max_l1_err_pts.max((s.l1_miss_pct() - e.l1_miss_pct()).abs());
+    }
+    let sampled_info = sampled_results[0].sampled.expect("sampled jobs report interval coverage");
+    let sampled_speedup = if sampled_secs > 0.0 { sampled_exact_secs / sampled_secs } else { 0.0 };
+    eprintln!(
+        "  sampled ({}/{SAMPLED_SCALE})  exact {:.0} ms, sampled {:.0} ms ({:.1}x); \
+         max CPI err {:.2}%, max L1 err {:.2} pts",
+        SAMPLED_BENCH.name(),
+        sampled_exact_secs * 1e3,
+        sampled_secs * 1e3,
+        sampled_speedup,
+        max_cpi_err_pct,
+        max_l1_err_pts,
+    );
+
     let report = Json::obj([
         ("schema", Json::str("selcache-perf/1")),
         ("subset", Json::str(cli.subset_name)),
@@ -306,6 +358,21 @@ fn main() {
                 ("points_per_sec", Json::Num(sweep_points_per_sec)),
                 ("exact_point_ms", Json::Num(exact_point_secs * 1e3)),
                 ("speedup_vs_exact", Json::Num(speedup_vs_exact)),
+            ]),
+        ),
+        (
+            "sampled",
+            Json::obj([
+                ("benchmark", Json::str(SAMPLED_BENCH.name())),
+                ("scale", Json::str(SAMPLED_SCALE.to_string())),
+                ("exact_ms", Json::Num(sampled_exact_secs * 1e3)),
+                ("sampled_ms", Json::Num(sampled_secs * 1e3)),
+                ("speedup_vs_exact", Json::Num(sampled_speedup)),
+                ("max_cpi_err_pct", Json::Num(max_cpi_err_pct)),
+                ("max_l1_miss_err_pts", Json::Num(max_l1_err_pts)),
+                ("total_ops", Json::UInt(sampled_info.total_ops)),
+                ("detailed_ops", Json::UInt(sampled_info.detailed_ops)),
+                ("representatives", Json::UInt(sampled_info.representatives as u64)),
             ]),
         ),
         (

@@ -9,7 +9,9 @@
 //! `--format csv` emits the rows via `table3_csv`.
 use selcache_bench::json::Json;
 use selcache_bench::{engine_stats_json, Cli, OutputFormat};
-use selcache_core::{format_table3, table3_csv, table3_rows_with_stats, ConfigVariant, Table3Row};
+use selcache_core::{
+    format_table3, table3_csv, table3_rows_with_stats_in_mode, ConfigVariant, Table3Row,
+};
 
 fn row_json(r: &Table3Row) -> Json {
     Json::obj([
@@ -34,7 +36,8 @@ fn main() {
         cli.scale,
         engine.threads()
     );
-    let (rows, stats) = table3_rows_with_stats(&engine, &machines, cli.scale, &cli.benchmarks());
+    let (rows, stats) =
+        table3_rows_with_stats_in_mode(&engine, &machines, cli.scale, &cli.benchmarks(), cli.mode);
     if engine.store().is_some() {
         eprintln!(
             "store: {} hits, {} misses, {} bytes written",
@@ -44,9 +47,11 @@ fn main() {
     match cli.format {
         OutputFormat::Text => print!("{}", format_table3(&rows)),
         OutputFormat::Json => {
+            let mode = if cli.mode.is_sampled() { "sampled" } else { "exact" };
             println!(
                 "{}",
                 Json::obj([
+                    ("mode", Json::str(mode)),
                     ("rows", Json::Arr(rows.iter().map(row_json).collect())),
                     ("engine", engine_stats_json(&stats)),
                 ])

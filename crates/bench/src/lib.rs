@@ -16,13 +16,15 @@
 //! | `regions` | —       | per-region cycles/misses/assist coverage of the selective version |
 //! | `sweep`  | Figs 4–9 axes | design-space sweeps via `SweepSpec` (exact or analytical) |
 //!
-//! Every binary accepts `--scale tiny|small|medium` (default `small`),
-//! `--victim`/`--stream` to switch the figures' assist, `--threads N` to
-//! size the simulation pool (default: all cores; output is identical for
-//! every `N`), `--subset bench,bench,...` to restrict the suite, and
-//! `--store <dir>` (or the `SELCACHE_STORE` environment variable) to back
-//! the engine with a persistent result store — a warm store answers every
-//! repeated job from disk and executes zero simulations.
+//! Every binary accepts `--scale tiny|small|medium|large` (default
+//! `small`), `--victim`/`--stream` to switch the figures' assist,
+//! `--threads N` to size the simulation pool (default: all cores; output
+//! is identical for every `N`), `--subset bench,bench,...` to restrict the
+//! suite, `--mode exact|sampled` to switch on SimPoint-style interval
+//! sampling (intended for `--scale large`), and `--store <dir>` (or the
+//! `SELCACHE_STORE` environment variable) to back the engine with a
+//! persistent result store — a warm store answers every repeated job from
+//! disk and executes zero simulations.
 //! `table3`, `regions`, and `sweep` accept `--format text|json|csv`.
 //! The `selcached` binary runs the same engine as a long-lived unix-socket
 //! service (see `DESIGN.md`).
@@ -36,13 +38,15 @@ pub mod json;
 #[cfg(unix)]
 pub mod service;
 
-use selcache_core::{AssistKind, Benchmark, ConfigVariant, JobEngine, Scale, Store, SuiteResult};
+use selcache_core::{
+    AssistKind, Benchmark, ConfigVariant, JobEngine, Scale, SimMode, Store, SuiteResult,
+};
 use std::fmt;
 
 /// Usage string the binaries print when argument parsing fails.
-pub const USAGE: &str = "usage: [--scale tiny|small|medium] [--bypass|--victim|--stream] \
-[--threads N] [--subset bench,bench,...] [--csv <path>] [--format text|json|csv] \
-[--store <dir>]";
+pub const USAGE: &str = "usage: [--scale tiny|small|medium|large] [--bypass|--victim|--stream] \
+[--threads N] [--subset bench,bench,...] [--mode exact|sampled] [--csv <path>] \
+[--format text|json|csv] [--store <dir>]";
 
 /// Why the command line failed to parse.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -51,8 +55,10 @@ pub enum CliError {
     UnknownArgument(String),
     /// A flag that takes a value appeared last.
     MissingValue(&'static str),
-    /// `--scale` value was not `tiny|small|medium`.
+    /// `--scale` value was not `tiny|small|medium|large`.
     InvalidScale(String),
+    /// `--mode` value was not `exact|sampled`.
+    InvalidMode(String),
     /// `--threads` value was not a non-negative integer.
     InvalidThreads(String),
     /// A `--subset` entry named no known benchmark.
@@ -79,7 +85,10 @@ impl fmt::Display for CliError {
             CliError::UnknownArgument(a) => write!(f, "unknown argument {a:?}"),
             CliError::MissingValue(flag) => write!(f, "{flag} needs a value"),
             CliError::InvalidScale(v) => {
-                write!(f, "unknown scale {v:?}; use tiny|small|medium")
+                write!(f, "unknown scale {v:?}; use tiny|small|medium|large")
+            }
+            CliError::InvalidMode(v) => {
+                write!(f, "unknown mode {v:?}; use exact|sampled")
             }
             CliError::InvalidThreads(v) => {
                 write!(f, "invalid --threads {v:?}; use a non-negative integer (0 = all cores)")
@@ -131,6 +140,9 @@ pub struct Cli {
     pub threads: usize,
     /// Benchmarks to run (`None` = the full suite).
     pub subset: Option<Vec<Benchmark>>,
+    /// Simulation mode (`--mode`): exact whole-trace simulation or
+    /// SimPoint-style interval sampling with the default parameters.
+    pub mode: SimMode,
     /// Output format for binaries that support `--format`.
     pub format: OutputFormat,
     /// Persistent result-store root (`--store` flag; [`Cli::from_env`]
@@ -146,6 +158,7 @@ impl Default for Cli {
             csv: None,
             threads: 0,
             subset: None,
+            mode: SimMode::Exact,
             format: OutputFormat::Text,
             store: None,
         }
@@ -187,6 +200,14 @@ impl Cli {
                     if !subset.is_empty() {
                         out.subset = Some(subset);
                     }
+                }
+                "--mode" => {
+                    let v = args.next().ok_or(CliError::MissingValue("--mode"))?;
+                    out.mode = match v.as_str() {
+                        "exact" => SimMode::Exact,
+                        "sampled" => SimMode::sampled(),
+                        _ => return Err(CliError::InvalidMode(v)),
+                    };
                 }
                 "--csv" => {
                     let v = args.next().ok_or(CliError::MissingValue("--csv"))?;
@@ -301,8 +322,14 @@ pub fn run_figure(variant: ConfigVariant) {
         cli.assist,
         engine.threads()
     );
-    let suite =
-        SuiteResult::run_with(&engine, variant.machine(), cli.assist, cli.scale, &cli.benchmarks());
+    let suite = SuiteResult::run_in_mode(
+        &engine,
+        variant.machine(),
+        cli.assist,
+        cli.scale,
+        &cli.benchmarks(),
+        cli.mode,
+    );
     print!("{}", suite.format_figure(variant.figure()));
     if let Some(path) = &cli.csv {
         if let Err(e) = std::fs::write(path, suite.to_csv()) {
@@ -331,6 +358,8 @@ mod tests {
         let c = Cli::parse([
             "--scale",
             "tiny",
+            "--mode",
+            "sampled",
             "--victim",
             "--threads",
             "4",
@@ -345,6 +374,7 @@ mod tests {
         ])
         .unwrap();
         assert_eq!(c.scale, Scale::Tiny);
+        assert_eq!(c.mode, SimMode::sampled());
         assert_eq!(c.assist, AssistKind::Victim);
         assert_eq!(c.threads, 4);
         assert_eq!(c.benchmarks(), vec![Benchmark::Adi, Benchmark::Li, Benchmark::TpcDQ6]);
@@ -354,6 +384,9 @@ mod tests {
         let c = Cli::parse(["--format", "csv"]).unwrap();
         assert_eq!(c.format, OutputFormat::Csv);
         assert_eq!(c.store, None, "store defaults to none in parse()");
+        let c = Cli::parse(["--scale", "large", "--mode", "exact"]).unwrap();
+        assert_eq!(c.scale, Scale::Large);
+        assert_eq!(c.mode, SimMode::Exact);
     }
 
     #[test]
@@ -372,9 +405,12 @@ mod tests {
         assert_eq!(Cli::parse(["--format", "yaml"]), Err(CliError::InvalidFormat("yaml".into())));
         let msg = CliError::InvalidFormat("yaml".into()).to_string();
         assert!(msg.contains("text|json|csv"), "{msg}");
+        assert_eq!(Cli::parse(["--mode", "fuzzy"]), Err(CliError::InvalidMode("fuzzy".into())));
         // Errors render with guidance.
         let msg = CliError::InvalidScale("huge".into()).to_string();
-        assert!(msg.contains("tiny|small|medium"), "{msg}");
+        assert!(msg.contains("tiny|small|medium|large"), "{msg}");
+        let msg = CliError::InvalidMode("fuzzy".into()).to_string();
+        assert!(msg.contains("exact|sampled"), "{msg}");
     }
 
     #[test]

@@ -13,8 +13,13 @@
 //! |---|---|
 //! | `{"op":"ping"}` | `{"ok":true,"kind":"pong"}` |
 //! | `{"op":"stats"}` | `{"ok":true,"kind":"stats",...}` server-lifetime totals |
+//! | `{"op":"store-stats"}` | `{"ok":true,"kind":"store-stats",...}` entry/byte counts of the backing store |
+//! | `{"op":"gc"}` | `{"ok":true,"kind":"gc",...}` reclaims corrupt/stale store entries; optional `"max_age_secs"` also drops entries older than the cutoff |
 //! | `{"op":"shutdown"}` | `{"ok":true,"kind":"bye"}`, then the server drains and exits |
 //! | `{"op":"run","jobs":[...]}` | one `"result"` line per job (submission order), then a `"done"` line |
+//!
+//! `store-stats` and `gc` answer with an error on a store-less server —
+//! there is nothing to inspect or reclaim.
 //!
 //! A job object names its execution identity with the same vocabulary the
 //! CLI binaries use (all string fields are case-insensitive and ignore
@@ -29,7 +34,9 @@
 //! `higher-mem-latency`, `larger-l2`, `larger-l1`, `higher-l2-assoc`,
 //! `higher-l1-assoc`); `version` is `base`, `pure-hardware`,
 //! `pure-software`, `combined`, or `selective`; `assist` is `none`,
-//! `bypass`, `victim`, or `stream`. A request-level `"profiled": true`
+//! `bypass`, `victim`, or `stream`; an optional `"mode"` of `"sampled"`
+//! runs the job with SimPoint-style interval sampling (result lines then
+//! carry a `sampled` coverage object). A request-level `"profiled": true`
 //! runs the set with region attribution (result lines then carry a
 //! `regions` count). Each `"result"` line echoes the job's stable
 //! `job_id`; the `"done"` line carries the engine counters for the
@@ -50,7 +57,7 @@ use crate::engine_stats_json;
 use crate::json::Json;
 use crate::parse_benchmark;
 use selcache_core::{
-    AssistKind, ConfigVariant, EngineStats, JobEngine, Scale, SimJob, SimResult, Version,
+    AssistKind, ConfigVariant, EngineStats, JobEngine, Scale, SimJob, SimMode, SimResult, Version,
 };
 use std::io::{self, Read, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
@@ -242,6 +249,49 @@ fn serve_line(raw: &[u8], state: &ServerState, out: &mut UnixStream) -> io::Resu
             write_line(out, &stats_json(state, &totals))?;
             Ok(false)
         }
+        "store-stats" => {
+            match state.engine.store() {
+                Some(store) => {
+                    let s = store.stats();
+                    write_line(
+                        out,
+                        &Json::obj([
+                            ("ok", Json::Bool(true)),
+                            ("kind", Json::str("store-stats")),
+                            ("root", Json::str(store.root().display().to_string())),
+                            ("entries", Json::UInt(s.entries as u64)),
+                            ("bytes", Json::UInt(s.bytes)),
+                        ]),
+                    )?;
+                }
+                None => write_line(out, &error_json("server has no store"))?,
+            }
+            Ok(false)
+        }
+        "gc" => {
+            match state.engine.store() {
+                Some(store) => {
+                    let max_age =
+                        req.get("max_age_secs").and_then(Json::as_u64).map(Duration::from_secs);
+                    match store.gc(max_age) {
+                        Ok(r) => write_line(
+                            out,
+                            &Json::obj([
+                                ("ok", Json::Bool(true)),
+                                ("kind", Json::str("gc")),
+                                ("kept", Json::UInt(r.kept as u64)),
+                                ("removed", Json::UInt(r.removed as u64)),
+                                ("tmp_removed", Json::UInt(r.tmp_removed as u64)),
+                                ("bytes_freed", Json::UInt(r.bytes_freed)),
+                            ]),
+                        )?,
+                        Err(e) => write_line(out, &error_json(&format!("gc failed: {e}")))?,
+                    }
+                }
+                None => write_line(out, &error_json("server has no store"))?,
+            }
+            Ok(false)
+        }
         "shutdown" => {
             write_line(out, &Json::obj([("ok", Json::Bool(true)), ("kind", Json::str("bye"))]))?;
             request_shutdown();
@@ -254,7 +304,9 @@ fn serve_line(raw: &[u8], state: &ServerState, out: &mut UnixStream) -> io::Resu
         other => {
             write_line(
                 out,
-                &error_json(&format!("unknown op {other:?}; use ping | stats | run | shutdown")),
+                &error_json(&format!(
+                    "unknown op {other:?}; use ping | stats | store-stats | gc | run | shutdown"
+                )),
             )?;
             Ok(false)
         }
@@ -312,6 +364,18 @@ fn result_json(index: usize, job: &SimJob, r: &SimResult) -> Json {
     ];
     if let Some(profile) = &r.regions {
         pairs.push(("regions", Json::UInt(profile.regions().len() as u64)));
+    }
+    if let Some(info) = &r.sampled {
+        pairs.push((
+            "sampled",
+            Json::obj([
+                ("total_ops", Json::UInt(info.total_ops)),
+                ("intervals", Json::UInt(info.intervals as u64)),
+                ("representatives", Json::UInt(info.representatives as u64)),
+                ("detailed_ops", Json::UInt(info.detailed_ops)),
+                ("warmup_ops", Json::UInt(info.warmup_ops)),
+            ]),
+        ));
     }
     Json::obj(pairs)
 }
@@ -409,7 +473,15 @@ fn job_from_json(spec: &Json) -> Result<SimJob, String> {
         Some(s) => parse_assist(s).ok_or_else(|| format!("unknown assist {s:?}"))?,
         None => AssistKind::Bypass,
     };
-    Ok(SimJob::new(benchmark, scale, machine, assist, version))
+    let mode = match field("mode") {
+        Some(s) => match canon(s).as_str() {
+            "exact" => SimMode::Exact,
+            "sampled" => SimMode::sampled(),
+            _ => return Err(format!("unknown mode {s:?}")),
+        },
+        None => SimMode::Exact,
+    };
+    Ok(SimJob::new(benchmark, scale, machine, assist, version).with_mode(mode))
 }
 
 /// Client side of the protocol: connect, send one request line, close the
@@ -460,5 +532,17 @@ mod tests {
         assert!(job_from_json(&bad).unwrap_err().contains("version"));
         let bad = Json::parse(r#"{"version":"base","benchmark":"whom"}"#).unwrap();
         assert!(job_from_json(&bad).unwrap_err().contains("whom"));
+    }
+
+    #[test]
+    fn job_mode_parses_and_rejects() {
+        let spec =
+            Json::parse(r#"{"benchmark":"vpenta","version":"base","mode":"sampled"}"#).unwrap();
+        assert_eq!(job_from_json(&spec).unwrap().mode, SimMode::sampled());
+        let spec =
+            Json::parse(r#"{"benchmark":"vpenta","version":"base","mode":"Exact"}"#).unwrap();
+        assert_eq!(job_from_json(&spec).unwrap().mode, SimMode::Exact);
+        let bad = Json::parse(r#"{"benchmark":"vpenta","version":"base","mode":"fuzzy"}"#).unwrap();
+        assert!(job_from_json(&bad).unwrap_err().contains("mode"));
     }
 }

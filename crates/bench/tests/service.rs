@@ -157,6 +157,92 @@ fn concurrent_clients_share_one_store() {
 }
 
 #[test]
+fn store_maintenance_ops_inspect_and_reclaim() {
+    let _guard = SERVER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    service::reset_shutdown();
+    let root = TempRoot::new("maint");
+    let sock = root.0.join("maint.sock");
+    let store_root = root.0.join("store");
+    let store = Store::open(&store_root).expect("open store");
+    let server = Server::bind(&sock, JobEngine::with_store(1, store)).expect("bind");
+    let server_thread = std::thread::spawn(move || server.run().expect("server run"));
+    await_server(&sock);
+
+    // An empty store reports zero entries.
+    let lines = request(&sock, r#"{"op":"store-stats"}"#);
+    assert_eq!(lines.len(), 1);
+    assert_eq!(kind(&lines[0]), "store-stats");
+    assert_eq!(uint(&lines[0], "entries"), 0);
+    assert_eq!(
+        lines[0].get("root").and_then(Json::as_str),
+        Some(store_root.display().to_string().as_str())
+    );
+
+    // Populate two entries (one sampled, one exact), then inspect again.
+    let lines = request(
+        &sock,
+        r#"{"op":"run","jobs":[{"benchmark":"vpenta","scale":"tiny","version":"base","mode":"sampled"},{"benchmark":"adi","scale":"tiny","version":"base"}]}"#,
+    );
+    assert_eq!(lines.len(), 3, "2 results + done: {lines:?}");
+    let sampled = lines[0].get("sampled").expect("sampled job reports coverage");
+    assert!(uint(sampled, "total_ops") > 0);
+    assert!(uint(sampled, "representatives") > 0);
+    assert!(lines[1].get("sampled").is_none(), "exact job carries no sampled block");
+    let lines = request(&sock, r#"{"op":"store-stats"}"#);
+    assert_eq!(uint(&lines[0], "entries"), 2);
+    assert!(uint(&lines[0], "bytes") > 0);
+
+    // Plant a corrupt entry; gc keeps the 2 real ones and reclaims it.
+    let shard = std::fs::read_dir(&store_root)
+        .expect("read store root")
+        .map(|e| e.expect("dirent").path())
+        .find(|p| p.is_dir())
+        .expect("one shard exists");
+    std::fs::write(shard.join("deadbeefdeadbeefdeadbeefdeadbeef.json"), "garbage").unwrap();
+    let lines = request(&sock, r#"{"op":"gc"}"#);
+    assert_eq!(kind(&lines[0]), "gc");
+    assert_eq!(uint(&lines[0], "kept"), 2);
+    assert_eq!(uint(&lines[0], "removed"), 1);
+    assert!(uint(&lines[0], "bytes_freed") > 0);
+
+    // An aggressive age cutoff clears everything.
+    let lines = request(&sock, r#"{"op":"gc","max_age_secs":0}"#);
+    assert_eq!(uint(&lines[0], "kept"), 0);
+    assert_eq!(uint(&lines[0], "removed"), 2);
+    let lines = request(&sock, r#"{"op":"store-stats"}"#);
+    assert_eq!(uint(&lines[0], "entries"), 0);
+
+    let bye = request(&sock, r#"{"op":"shutdown"}"#);
+    assert_eq!(kind(&bye[0]), "bye");
+    server_thread.join().expect("server thread");
+    service::reset_shutdown();
+}
+
+#[test]
+fn store_maintenance_ops_error_without_a_store() {
+    let _guard = SERVER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    service::reset_shutdown();
+    let root = TempRoot::new("nostore");
+    let sock = root.0.join("nostore.sock");
+    let server = Server::bind(&sock, JobEngine::new(1)).expect("bind");
+    let server_thread = std::thread::spawn(move || server.run().expect("server run"));
+    await_server(&sock);
+
+    for op in [r#"{"op":"store-stats"}"#, r#"{"op":"gc"}"#] {
+        let lines = request(&sock, op);
+        assert_eq!(lines.len(), 1);
+        assert_eq!(kind(&lines[0]), "error", "{op} must error store-less: {}", lines[0]);
+        let msg = lines[0].get("message").and_then(Json::as_str).unwrap_or("");
+        assert!(msg.contains("no store"), "{msg}");
+    }
+
+    let bye = request(&sock, r#"{"op":"shutdown"}"#);
+    assert_eq!(kind(&bye[0]), "bye");
+    server_thread.join().expect("server thread");
+    service::reset_shutdown();
+}
+
+#[test]
 fn profiled_requests_report_regions() {
     let _guard = SERVER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     service::reset_shutdown();

@@ -40,6 +40,7 @@
 use crate::config::MachineConfig;
 use crate::identity::{Canon, CanonWriter, JobId};
 use crate::runner::{default_opt, simulate, simulate_profiled, SimResult, Version};
+use crate::sampled::{simulate_sampled, SimMode};
 use crate::store::Store;
 use selcache_compiler::{optimize, region_partition, selective, OptConfig};
 use selcache_ir::Program;
@@ -71,6 +72,10 @@ pub struct SimJob {
     /// Compiler configuration used to prepare the code for the
     /// software-optimized versions.
     pub opt: OptConfig,
+    /// Simulation mode: exact whole-trace simulation (the default) or
+    /// SimPoint-style interval sampling. Part of the execution identity —
+    /// sampled and exact runs of the same job hash to distinct ids.
+    pub mode: SimMode,
 }
 
 impl SimJob {
@@ -85,12 +90,18 @@ impl SimJob {
         version: Version,
     ) -> SimJob {
         let opt = default_opt(&machine);
-        SimJob { benchmark, scale, machine, assist, version, opt }
+        SimJob { benchmark, scale, machine, assist, version, opt, mode: SimMode::Exact }
     }
 
     /// Replaces the compiler configuration.
     pub fn with_opt(mut self, opt: OptConfig) -> SimJob {
         self.opt = opt;
+        self
+    }
+
+    /// Replaces the simulation mode.
+    pub fn with_mode(mut self, mode: SimMode) -> SimJob {
+        self.mode = mode;
         self
     }
 
@@ -193,6 +204,7 @@ struct ExecKey {
     machine: MachineConfig,
     assist: AssistKind,
     assist_enabled: bool,
+    mode: SimMode,
 }
 
 impl ExecKey {
@@ -202,6 +214,7 @@ impl ExecKey {
             machine: job.machine.clone(),
             assist: job.version.effective_assist(job.assist),
             assist_enabled: job.version.initially_enabled(),
+            mode: job.mode,
         }
     }
 
@@ -228,8 +241,63 @@ impl ExecKey {
         w.str(self.machine.name);
         self.assist.canon(&mut w);
         w.bool(self.assist_enabled);
+        // Simulation mode, tag + parameters (exact runs and sampled runs
+        // of the same job are different results).
+        match self.mode {
+            SimMode::Exact => w.u8(0),
+            SimMode::Sampled { interval_ops, max_intervals, warmup } => {
+                w.u8(1);
+                w.u64(interval_ops);
+                w.usize(max_intervals);
+                w.u64(warmup);
+            }
+        }
         w.finish()
     }
+}
+
+/// Process-wide selection-cache key for a sampled run: a stable hash of
+/// the prepared-program identity plus the interval geometry. Everything
+/// that executes the same prepared program with the same interval size and
+/// representative budget shares one profile pass and one checkpoint set —
+/// warmup length is deliberately excluded (it only affects pass 2).
+pub(crate) fn selection_key(
+    benchmark: Benchmark,
+    scale: Scale,
+    version: Version,
+    opt: &OptConfig,
+    interval_ops: u64,
+    max_intervals: usize,
+) -> u128 {
+    let prep = version.prep_kind();
+    let program = ProgramKey {
+        benchmark,
+        scale,
+        prep,
+        opt: match prep {
+            PrepKind::Raw => None,
+            _ => Some(*opt),
+        },
+    };
+    selection_key_of(&program, interval_ops, max_intervals)
+}
+
+fn selection_key_of(program: &ProgramKey, interval_ops: u64, max_intervals: usize) -> u128 {
+    let mut w = CanonWriter::new();
+    // Domain-separate from job ids so a selection key can never alias a
+    // store address.
+    w.str("selection-key");
+    program.benchmark.canon(&mut w);
+    program.scale.canon(&mut w);
+    w.u8(match program.prep {
+        PrepKind::Raw => 0,
+        PrepKind::Optimized => 1,
+        PrepKind::Selective => 2,
+    });
+    w.opt(&program.opt);
+    w.u64(interval_ops);
+    w.usize(max_intervals);
+    JobId::of_bytes(&w.finish()).as_u128()
 }
 
 /// A normalized job set: the dedup work [`JobEngine`] does before any
@@ -380,6 +448,8 @@ impl JobEngine {
     /// populated `regions` profile, attributed with the partition derived
     /// from each job's compiler configuration (raw programs use the default
     /// threshold). Dedup and ordering behave exactly like [`JobEngine::run`].
+    /// Jobs in [`SimMode::Sampled`] still run sampled and return without
+    /// regions — per-region attribution requires exact execution.
     pub fn run_profiled(&self, jobs: &[SimJob]) -> Vec<SimResult> {
         self.execute(jobs, true).0
     }
@@ -422,8 +492,11 @@ impl JobEngine {
         let mut cached: Vec<Option<SimResult>> = Vec::with_capacity(unique.len());
         if let Some(store) = &self.store {
             for k in 0..unique.len() {
+                // Sampled results never carry regions, so a profiled run
+                // accepts them as-is rather than re-simulating forever.
+                let needs_regions = profiled && !unique[k].mode.is_sampled();
                 cached.push(store.get(ids[k], &identities[k]).and_then(|mut r| {
-                    if profiled && r.regions.is_none() {
+                    if needs_regions && r.regions.is_none() {
                         return None;
                     }
                     if !profiled {
@@ -457,17 +530,31 @@ impl JobEngine {
             let key = &unique[k];
             let program = programs[prog_of[k]].as_ref().expect("prepared above");
             let start = Instant::now();
-            let result = if profiled {
-                let threshold = key
-                    .program
-                    .opt
-                    .as_ref()
-                    .map(|o| o.threshold)
-                    .unwrap_or_else(|| OptConfig::default().threshold);
-                let map = region_partition(program, threshold);
-                simulate_profiled(&key.machine, key.assist, key.assist_enabled, program, &map)
-            } else {
-                simulate(&key.machine, key.assist, key.assist_enabled, program)
+            let result = match key.mode {
+                SimMode::Sampled { interval_ops, max_intervals, warmup } => {
+                    let skey = selection_key_of(&key.program, interval_ops, max_intervals);
+                    simulate_sampled(
+                        &key.machine,
+                        key.assist,
+                        key.assist_enabled,
+                        program,
+                        interval_ops,
+                        max_intervals,
+                        warmup,
+                        Some(skey),
+                    )
+                }
+                SimMode::Exact if profiled => {
+                    let threshold = key
+                        .program
+                        .opt
+                        .as_ref()
+                        .map(|o| o.threshold)
+                        .unwrap_or_else(|| OptConfig::default().threshold);
+                    let map = region_partition(program, threshold);
+                    simulate_profiled(&key.machine, key.assist, key.assist_enabled, program, &map)
+                }
+                SimMode::Exact => simulate(&key.machine, key.assist, key.assist_enabled, program),
             };
             (result, start.elapsed().as_secs_f64() * 1e3)
         });
@@ -637,6 +724,48 @@ mod tests {
             assert_eq!(total.cycles, q.cycles);
             assert_eq!(total.committed, q.instructions);
         }
+    }
+
+    #[test]
+    fn sampled_mode_is_part_of_the_identity() {
+        let exact = SimJob::new(
+            Benchmark::Vpenta,
+            Scale::Small,
+            MachineConfig::base(),
+            AssistKind::None,
+            Version::Base,
+        );
+        let sampled = exact.clone().with_mode(SimMode::Sampled {
+            interval_ops: 4096,
+            max_intervals: 4,
+            warmup: 1024,
+        });
+        assert_ne!(exact.job_id(), sampled.job_id(), "mode must split the identity");
+        assert!(!exact.same_execution(&sampled));
+        // Different sampling parameters are different identities too.
+        let wider = exact.clone().with_mode(SimMode::Sampled {
+            interval_ops: 8192,
+            max_intervals: 4,
+            warmup: 1024,
+        });
+        assert_ne!(sampled.job_id(), wider.job_id());
+    }
+
+    #[test]
+    fn sampled_results_are_thread_count_invariant() {
+        let machine = MachineConfig::base();
+        let mode = SimMode::Sampled { interval_ops: 4096, max_intervals: 4, warmup: 1024 };
+        let jobs: Vec<SimJob> = [Version::Base, Version::PureHardware, Version::Selective]
+            .into_iter()
+            .map(|v| {
+                SimJob::new(Benchmark::Vpenta, Scale::Small, machine.clone(), AssistKind::Bypass, v)
+                    .with_mode(mode)
+            })
+            .collect();
+        let serial = JobEngine::serial().run(&jobs);
+        let parallel = JobEngine::new(4).run(&jobs);
+        assert_eq!(serial, parallel, "sampled results must be bit-identical across threads");
+        assert!(serial.iter().all(|r| r.sampled.is_some()));
     }
 
     #[test]

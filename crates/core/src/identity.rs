@@ -32,7 +32,7 @@ use std::str::FromStr;
 /// Schema tag leading every canonical identity encoding. Bump the suffix
 /// whenever the encoding changes shape — stored results keyed by the old
 /// encoding then become clean misses instead of silent aliases.
-pub const IDENTITY_SCHEMA: &str = "selcache-exec/1";
+pub const IDENTITY_SCHEMA: &str = "selcache-exec/2";
 
 /// A stable 128-bit content hash of one execution identity.
 ///
@@ -258,6 +258,7 @@ impl Canon for Scale {
             Scale::Tiny => 0,
             Scale::Small => 1,
             Scale::Medium => 2,
+            Scale::Large => 3,
         });
     }
 }

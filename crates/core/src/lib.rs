@@ -65,6 +65,7 @@ pub mod json;
 mod profile;
 mod report;
 mod runner;
+mod sampled;
 pub mod store;
 mod sweep;
 
@@ -74,9 +75,10 @@ pub use identity::JobId;
 pub use profile::{RegionProfile, RegionProfileProbe, RegionStats};
 pub use report::{
     format_region_report, format_table3, table2, table2_with, table3_csv, table3_row, table3_rows,
-    table3_rows_with_stats, BenchmarkRow, SuiteResult, Table3Row,
+    table3_rows_with_stats, table3_rows_with_stats_in_mode, BenchmarkRow, SuiteResult, Table3Row,
 };
 pub use runner::{Experiment, ExperimentBuilder, SimResult, Version};
+pub use sampled::{SampledInfo, SimMode};
 pub use store::{GcReport, Store, StoreStats};
 pub use sweep::{
     l1_assoc_sweep, memory_latency_sweep, CheckSummary, PointCheck, PointData, Sweep, SweepAxis,

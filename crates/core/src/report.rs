@@ -10,6 +10,7 @@
 use crate::config::MachineConfig;
 use crate::engine::{EngineStats, JobEngine, SimJob};
 use crate::runner::{SimResult, Version};
+use crate::sampled::SimMode;
 use selcache_mem::AssistKind;
 use selcache_workloads::{Benchmark, Category, Scale};
 use std::fmt::Write as _;
@@ -60,11 +61,26 @@ impl SuiteResult {
         scale: Scale,
         benchmarks: &[Benchmark],
     ) -> Vec<SimJob> {
+        Self::jobs_in_mode(machine, assist, scale, benchmarks, SimMode::Exact)
+    }
+
+    /// [`SuiteResult::jobs`] with an explicit simulation mode: every job in
+    /// the set (base and reported versions alike) runs exact or sampled, so
+    /// improvements compare like against like.
+    pub fn jobs_in_mode(
+        machine: &MachineConfig,
+        assist: AssistKind,
+        scale: Scale,
+        benchmarks: &[Benchmark],
+        mode: SimMode,
+    ) -> Vec<SimJob> {
         let mut jobs = Vec::with_capacity(benchmarks.len() * JOBS_PER_BENCHMARK);
         for &bm in benchmarks {
-            jobs.push(SimJob::new(bm, scale, machine.clone(), assist, Version::Base));
+            jobs.push(
+                SimJob::new(bm, scale, machine.clone(), assist, Version::Base).with_mode(mode),
+            );
             for &v in &Version::REPORTED {
-                jobs.push(SimJob::new(bm, scale, machine.clone(), assist, v));
+                jobs.push(SimJob::new(bm, scale, machine.clone(), assist, v).with_mode(mode));
             }
         }
         jobs
@@ -111,8 +127,21 @@ impl SuiteResult {
         scale: Scale,
         benchmarks: &[Benchmark],
     ) -> SuiteResult {
+        Self::run_in_mode(engine, machine, assist, scale, benchmarks, SimMode::Exact)
+    }
+
+    /// Runs a suite on an explicit engine in an explicit simulation mode
+    /// (the figure binaries' `--mode sampled` path).
+    pub fn run_in_mode(
+        engine: &JobEngine,
+        machine: MachineConfig,
+        assist: AssistKind,
+        scale: Scale,
+        benchmarks: &[Benchmark],
+        mode: SimMode,
+    ) -> SuiteResult {
         let name = machine.name;
-        let jobs = Self::jobs(&machine, assist, scale, benchmarks);
+        let jobs = Self::jobs_in_mode(&machine, assist, scale, benchmarks, mode);
         let results = engine.run(&jobs);
         Self::from_results(name, assist, benchmarks, &results)
     }
@@ -338,10 +367,35 @@ pub fn table3_rows_with_stats(
     scale: Scale,
     benchmarks: &[Benchmark],
 ) -> (Vec<Table3Row>, EngineStats) {
+    table3_rows_with_stats_in_mode(engine, machines, scale, benchmarks, SimMode::Exact)
+}
+
+/// [`table3_rows_with_stats`] in an explicit simulation mode: every suite
+/// job in the batch runs exact or sampled, so each machine's averages
+/// compare like against like.
+pub fn table3_rows_with_stats_in_mode(
+    engine: &JobEngine,
+    machines: &[MachineConfig],
+    scale: Scale,
+    benchmarks: &[Benchmark],
+    mode: SimMode,
+) -> (Vec<Table3Row>, EngineStats) {
     let mut jobs = Vec::new();
     for machine in machines {
-        jobs.extend(SuiteResult::jobs(machine, AssistKind::Bypass, scale, benchmarks));
-        jobs.extend(SuiteResult::jobs(machine, AssistKind::Victim, scale, benchmarks));
+        jobs.extend(SuiteResult::jobs_in_mode(
+            machine,
+            AssistKind::Bypass,
+            scale,
+            benchmarks,
+            mode,
+        ));
+        jobs.extend(SuiteResult::jobs_in_mode(
+            machine,
+            AssistKind::Victim,
+            scale,
+            benchmarks,
+            mode,
+        ));
     }
     let (results, stats) = engine.run_with_stats(&jobs);
 

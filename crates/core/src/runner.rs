@@ -3,8 +3,9 @@
 //! processor + memory-hierarchy simulator.
 
 use crate::config::MachineConfig;
-use crate::engine::JobEngine;
+use crate::engine::{selection_key, JobEngine};
 use crate::profile::{RegionProfile, RegionProfileProbe};
+use crate::sampled::{simulate_sampled, SampledInfo, SimMode};
 use selcache_compiler::{optimize, region_partition, selective, OptConfig};
 use selcache_cpu::{CpuStats, Pipeline};
 use selcache_ir::{Interp, Program, RegionMap};
@@ -63,6 +64,10 @@ pub struct SimResult {
     /// Per-region attribution, present when the run was profiled
     /// ([`Experiment::run_profiled`], [`JobEngine::run_profiled`]).
     pub regions: Option<RegionProfile>,
+    /// Sampling coverage, present when the run used [`SimMode::Sampled`]
+    /// (cycles and miss counters are then weighted extrapolations from the
+    /// representative intervals; `instructions` stays exact).
+    pub sampled: Option<SampledInfo>,
     /// The stable execution-identity hash of the job that produced this
     /// result. Populated by the [`JobEngine`] (which uses it as its dedup
     /// key and store address); `None` for direct [`Experiment`] runs.
@@ -119,6 +124,7 @@ pub(crate) fn simulate(
         cpu: stats,
         mem: mem.stats(),
         regions: None,
+        sampled: None,
         job_id: None,
     }
 }
@@ -148,6 +154,7 @@ pub(crate) fn simulate_profiled(
         cpu: stats,
         mem: mem.stats(),
         regions: Some(probe.finish()),
+        sampled: None,
         job_id: None,
     }
 }
@@ -176,6 +183,7 @@ pub struct ExperimentBuilder {
     assist: AssistKind,
     opt: Option<OptConfig>,
     threads: usize,
+    mode: SimMode,
 }
 
 impl ExperimentBuilder {
@@ -211,11 +219,19 @@ impl ExperimentBuilder {
         self
     }
 
+    /// Sets the simulation mode (default [`SimMode::Exact`]). Pass
+    /// [`SimMode::sampled`] (or a hand-tuned [`SimMode::Sampled`]) to
+    /// replace detailed whole-trace simulation with interval sampling.
+    pub fn mode(mut self, mode: SimMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
     /// Builds the experiment.
     pub fn build(self) -> Experiment {
         let machine = self.machine.unwrap_or_else(MachineConfig::base);
         let opt = self.opt.unwrap_or_else(|| default_opt(&machine));
-        Experiment { machine, assist: self.assist, opt, threads: self.threads }
+        Experiment { machine, assist: self.assist, opt, threads: self.threads, mode: self.mode }
     }
 }
 
@@ -241,6 +257,7 @@ pub struct Experiment {
     assist: AssistKind,
     opt: OptConfig,
     threads: usize,
+    mode: SimMode,
 }
 
 impl Experiment {
@@ -274,6 +291,11 @@ impl Experiment {
         self.threads
     }
 
+    /// The simulation mode.
+    pub fn mode(&self) -> SimMode {
+        self.mode
+    }
+
     /// A [`JobEngine`] sized to this experiment's thread count.
     pub fn engine(&self) -> JobEngine {
         JobEngine::new(self.threads)
@@ -289,27 +311,56 @@ impl Experiment {
         }
     }
 
-    /// Runs a prepared program.
+    /// Runs a prepared program under the experiment's [`SimMode`]. Ad-hoc
+    /// programs carry no stable identity, so sampled runs through this
+    /// entry point profile the trace afresh each call; [`Experiment::run`]
+    /// and the [`JobEngine`] share profile passes process-wide.
     pub fn run_program(&self, program: &Program, version: Version) -> SimResult {
-        simulate(
-            &self.machine,
-            version.effective_assist(self.assist),
-            version.initially_enabled(),
-            program,
-        )
+        self.dispatch(program, version, None)
     }
 
     /// Builds, prepares, and runs a benchmark under a version.
     pub fn run(&self, benchmark: Benchmark, scale: Scale, version: Version) -> SimResult {
         let base = benchmark.build(scale);
         let prepared = self.prepare(&base, version);
-        self.run_program(&prepared, version)
+        let key = match self.mode {
+            SimMode::Exact => None,
+            SimMode::Sampled { interval_ops, max_intervals, .. } => Some(selection_key(
+                benchmark,
+                scale,
+                version,
+                &self.opt,
+                interval_ops,
+                max_intervals,
+            )),
+        };
+        self.dispatch(&prepared, version, key)
+    }
+
+    fn dispatch(&self, program: &Program, version: Version, key: Option<u128>) -> SimResult {
+        let assist = version.effective_assist(self.assist);
+        let enabled = version.initially_enabled();
+        match self.mode {
+            SimMode::Exact => simulate(&self.machine, assist, enabled, program),
+            SimMode::Sampled { interval_ops, max_intervals, warmup } => simulate_sampled(
+                &self.machine,
+                assist,
+                enabled,
+                program,
+                interval_ops,
+                max_intervals,
+                warmup,
+                key,
+            ),
+        }
     }
 
     /// [`Experiment::run`] with region profiling: partitions the prepared
     /// program with the experiment's threshold and attributes every cycle,
     /// commit, cache access, and assist event to its region. The result's
     /// `regions` field is populated; aggregate counters are unchanged.
+    /// Profiled runs are always exact — attribution needs every op through
+    /// the detailed pipeline, so [`SimMode::Sampled`] does not apply here.
     pub fn run_profiled(&self, benchmark: Benchmark, scale: Scale, version: Version) -> SimResult {
         let base = benchmark.build(scale);
         let prepared = self.prepare(&base, version);

@@ -35,6 +35,7 @@ use crate::identity::{to_hex, JobId};
 use crate::json::Json;
 use crate::profile::{RegionProfile, RegionStats};
 use crate::runner::SimResult;
+use crate::sampled::SampledInfo;
 use selcache_cpu::CpuStats;
 use selcache_mem::{AssistStats, CacheStats, HierarchyStats};
 use std::fs;
@@ -264,6 +265,18 @@ pub(crate) fn result_to_json(r: &SimResult) -> Json {
     if let Some(profile) = &r.regions {
         pairs.push(("regions", Json::Arr(profile.regions().iter().map(region_to_json).collect())));
     }
+    if let Some(s) = &r.sampled {
+        pairs.push((
+            "sampled",
+            Json::obj([
+                ("total_ops", Json::UInt(s.total_ops)),
+                ("intervals", Json::UInt(s.intervals as u64)),
+                ("representatives", Json::UInt(s.representatives as u64)),
+                ("detailed_ops", Json::UInt(s.detailed_ops)),
+                ("warmup_ops", Json::UInt(s.warmup_ops)),
+            ]),
+        ));
+    }
     Json::obj(pairs)
 }
 
@@ -276,12 +289,26 @@ pub(crate) fn result_from_json(j: &Json) -> Option<SimResult> {
             Some(RegionProfile::from_regions(buckets?))
         }
     };
+    let sampled = match j.get("sampled") {
+        None => None,
+        Some(s) => {
+            let f = |key| s.get(key).and_then(Json::as_u64);
+            Some(SampledInfo {
+                total_ops: f("total_ops")?,
+                intervals: f("intervals")? as usize,
+                representatives: f("representatives")? as usize,
+                detailed_ops: f("detailed_ops")?,
+                warmup_ops: f("warmup_ops")?,
+            })
+        }
+    };
     Some(SimResult {
         cycles: j.get("cycles")?.as_u64()?,
         instructions: j.get("instructions")?.as_u64()?,
         cpu: cpu_from_json(j.get("cpu")?)?,
         mem: mem_from_json(j.get("mem")?)?,
         regions,
+        sampled,
         job_id: None,
     })
 }

@@ -3,7 +3,7 @@
 //! engine behavior (zero simulations, byte-identical results), and gc.
 
 use selcache_core::{
-    AssistKind, Benchmark, JobEngine, MachineConfig, Scale, SimJob, Store, Version,
+    AssistKind, Benchmark, JobEngine, MachineConfig, Scale, SimJob, SimMode, Store, Version,
 };
 use std::fs;
 use std::path::PathBuf;
@@ -166,6 +166,39 @@ fn gc_reclaims_corrupt_entries_and_temp_files() {
     assert_eq!(report.kept + report.removed, stats.executed);
     let after = store.stats();
     assert_eq!(after.entries, report.kept);
+}
+
+#[test]
+fn sampled_results_roundtrip_through_the_store() {
+    let root = TempRoot::new("sampled");
+    let mode = SimMode::Sampled { interval_ops: 4096, max_intervals: 4, warmup: 1024 };
+    let machine = MachineConfig::base();
+    let jobs: Vec<SimJob> = [Version::Base, Version::PureHardware]
+        .into_iter()
+        .map(|v| {
+            SimJob::new(Benchmark::Vpenta, Scale::Small, machine.clone(), AssistKind::Bypass, v)
+                .with_mode(mode)
+        })
+        .collect();
+
+    let engine = JobEngine::with_store(1, Store::open(&root.0).unwrap());
+    let (cold, cold_stats) = engine.run_with_stats(&jobs);
+    assert_eq!(cold_stats.executed, 2);
+    for r in &cold {
+        let info = r.sampled.expect("sampled jobs report coverage");
+        assert!(info.detailed_ops < info.total_ops, "must actually sample");
+        assert_eq!(r.instructions, info.total_ops);
+    }
+
+    // A fresh engine answers from disk with the coverage info intact, and
+    // a profiled run accepts the region-less sampled entries as hits.
+    let warm_engine = JobEngine::with_store(1, Store::open(&root.0).unwrap());
+    let (warm, warm_stats) = warm_engine.run_with_stats(&jobs);
+    assert_eq!(warm_stats.executed, 0, "sampled entries must be store hits");
+    assert_eq!(cold, warm, "sampled coverage info must round-trip exactly");
+    let (profiled, profiled_stats) = warm_engine.run_profiled_with_stats(&jobs);
+    assert_eq!(profiled_stats.executed, 0, "sampled entries satisfy profiled runs too");
+    assert!(profiled[0].regions.is_none(), "sampled results never carry regions");
 }
 
 #[test]

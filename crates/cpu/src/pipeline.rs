@@ -155,6 +155,22 @@ impl Pipeline {
         }
     }
 
+    /// Creates a pipeline whose branch predictor starts from `predictor`
+    /// (e.g. one warmed functionally by the sampled execution mode via
+    /// [`Predictor::update`]) instead of a cold table. The caller is
+    /// responsible for sizing the predictor consistently with `cfg`.
+    pub fn with_predictor(cfg: CpuConfig, predictor: Predictor) -> Self {
+        let mut p = Pipeline::new(cfg);
+        p.predictor = predictor;
+        p
+    }
+
+    /// The pipeline's branch predictor (e.g. to snapshot its learned state
+    /// for reuse by a later measured interval).
+    pub fn predictor(&self) -> &Predictor {
+        &self.predictor
+    }
+
     /// Runs the given trace to completion against `mem` and returns the
     /// accumulated statistics. The pipeline can be reused for another trace;
     /// predictor and statistics carry over (create a new [`Pipeline`] for an

@@ -29,6 +29,7 @@ enum PlanHolder<'p> {
     Borrowed(&'p Plan),
 }
 
+#[derive(Debug, Clone)]
 enum Frame {
     /// Iterating the item list owned by loop node `owner` (or the program
     /// roots when `owner` is [`ROOT_OWNER`]).
@@ -41,6 +42,34 @@ enum Frame {
         iter: i64,
         trip: i64,
     },
+}
+
+/// Checkpoint of an interpreter's position within its trace: induction
+/// variables, affine address slots, pointer-chase cursors, the tree-walk
+/// stack, and any ops already generated but not yet yielded. Restoring into
+/// an interpreter over the same program and plan resumes the trace at
+/// exactly the op after [`Interp::emitted`] at capture time.
+///
+/// Checkpoints are position markers, not full environments: the sampled
+/// execution mode takes one per interval boundary during its selection pass,
+/// then jumps each representative's warmup window by restoring the nearest
+/// checkpoint instead of re-streaming the prefix.
+#[derive(Debug, Clone)]
+pub struct InterpCheckpoint {
+    env: Vec<i64>,
+    slots: Vec<i64>,
+    chase: Vec<i64>,
+    frames: Vec<Frame>,
+    pending: VecDeque<TraceOp>,
+    emitted: u64,
+}
+
+impl InterpCheckpoint {
+    /// Number of ops the interpreter had emitted when this checkpoint was
+    /// taken — the trace position it restores to.
+    pub fn position(&self) -> u64 {
+        self.emitted
+    }
 }
 
 /// Resolves the plan reference without borrowing any other field of the
@@ -138,6 +167,54 @@ impl<'p> Interp<'p> {
     /// Number of ops produced so far.
     pub fn emitted(&self) -> u64 {
         self.emitted
+    }
+
+    /// Captures the current trace position (see [`InterpCheckpoint`]).
+    pub fn checkpoint(&self) -> InterpCheckpoint {
+        InterpCheckpoint {
+            env: self.env.clone(),
+            slots: self.slots.clone(),
+            chase: self.chase.clone(),
+            frames: self.frames.clone(),
+            pending: self.pending.clone(),
+            emitted: self.emitted,
+        }
+    }
+
+    /// Rewinds (or fast-forwards) to a checkpoint taken from an interpreter
+    /// over the same program and plan. The caller guarantees that pairing;
+    /// restoring a foreign checkpoint produces a well-defined but meaningless
+    /// trace.
+    pub fn restore(&mut self, ck: &InterpCheckpoint) {
+        self.env.clone_from(&ck.env);
+        self.slots.clone_from(&ck.slots);
+        self.chase.clone_from(&ck.chase);
+        self.frames.clone_from(&ck.frames);
+        self.pending.clone_from(&ck.pending);
+        self.emitted = ck.emitted;
+    }
+
+    /// Advances the trace by up to `n` ops without yielding them. Returns
+    /// the number of ops actually consumed (less than `n` only when the
+    /// trace ends) and the direction of the last assist marker passed, if
+    /// any — the sampled execution mode uses it to reconstruct the
+    /// hierarchy's assist-enabled flag at the point detailed simulation
+    /// resumes.
+    pub fn advance(&mut self, n: u64) -> (u64, Option<bool>) {
+        let mut consumed = 0;
+        let mut last_assist = None;
+        while consumed < n {
+            let Some(op) = self.next() else {
+                break;
+            };
+            match op.kind {
+                OpKind::AssistOn => last_assist = Some(true),
+                OpKind::AssistOff => last_assist = Some(false),
+                _ => {}
+            }
+            consumed += 1;
+        }
+        (consumed, last_assist)
     }
 
     /// Writes an induction variable and bumps every affine slot whose
@@ -389,6 +466,10 @@ fn eval_subscript(
 impl Iterator for Interp<'_> {
     type Item = TraceOp;
 
+    // `#[inline]`: every simulation pass calls this once per dynamic op
+    // from other crates; the fast path (pop from the pending buffer) is a
+    // handful of instructions and must not pay a cross-crate call.
+    #[inline]
     fn next(&mut self) -> Option<TraceOp> {
         if self.pending.is_empty() && !self.refill() {
             return None;
@@ -633,6 +714,61 @@ mod tests {
         let p = b.finish().unwrap();
         let loads = Interp::new(&p).filter(|o| o.kind.is_mem()).count();
         assert_eq!(loads, 2);
+    }
+
+    #[test]
+    fn checkpoint_restore_resumes_exact_position() {
+        let p = simple_sweep(20);
+        let full: Vec<_> = Interp::new(&p).collect();
+        let mut interp = Interp::new(&p);
+        // Take a checkpoint at an awkward mid-statement position.
+        for _ in 0..33 {
+            interp.next();
+        }
+        let ck = interp.checkpoint();
+        assert_eq!(ck.position(), 33);
+        let tail: Vec<_> = interp.by_ref().collect();
+        assert_eq!(tail, full[33..].to_vec());
+        // Restore into the now-exhausted interpreter: same tail again.
+        interp.restore(&ck);
+        assert_eq!(interp.emitted(), 33);
+        let again: Vec<_> = interp.collect();
+        assert_eq!(again, tail);
+        // A fresh interpreter restores to the same position too.
+        let mut fresh = Interp::new(&p);
+        fresh.restore(&ck);
+        assert_eq!(fresh.collect::<Vec<_>>(), tail);
+    }
+
+    #[test]
+    fn advance_skips_and_reports_assist_markers() {
+        let mut b = ProgramBuilder::new("adv");
+        let a = b.array("A", &[16], 8);
+        b.marker(Marker::On);
+        b.loop_(16, |b, i| {
+            b.stmt(|s| {
+                s.read(a, vec![Subscript::var(i)]).int(1);
+            });
+        });
+        b.marker(Marker::Off);
+        let p = b.finish().unwrap();
+        let full: Vec<_> = Interp::new(&p).collect();
+        let mut interp = Interp::new(&p);
+        let (n, assist) = interp.advance(10);
+        assert_eq!(n, 10);
+        assert_eq!(assist, Some(true), "the On marker at op 0 was passed");
+        assert_eq!(interp.emitted(), 10);
+        assert_eq!(interp.by_ref().collect::<Vec<_>>(), full[10..].to_vec());
+        // Advancing past the end reports the shortfall and the Off marker.
+        let mut interp = Interp::new(&p);
+        let (n, assist) = interp.advance(u64::MAX);
+        assert_eq!(n, full.len() as u64);
+        assert_eq!(assist, Some(false));
+        // No markers inside the window: None.
+        let mut interp = Interp::new(&p);
+        interp.advance(1);
+        let (_, assist) = interp.advance(5);
+        assert_eq!(assist, None);
     }
 
     #[test]

@@ -53,7 +53,7 @@ mod trace_io;
 pub use builder::{ProgramBuilder, StmtBuilder};
 pub use expr::{AffineExpr, Subscript};
 pub use ids::{Addr, ArrayId, LoopId, RegionId, ScalarId, VarId};
-pub use interp::{trace_len, Interp};
+pub use interp::{trace_len, Interp, InterpCheckpoint};
 pub use plan::Plan;
 pub use pretty::pretty;
 pub use program::{

@@ -45,11 +45,13 @@ pub enum OpKind {
 
 impl OpKind {
     /// True for loads and stores.
+    #[inline]
     pub fn is_mem(&self) -> bool {
         matches!(self, OpKind::Load(_) | OpKind::Store(_))
     }
 
     /// The data address, for memory operations.
+    #[inline]
     pub fn addr(&self) -> Option<Addr> {
         match self {
             OpKind::Load(a) | OpKind::Store(a) => Some(*a),

@@ -74,6 +74,25 @@ impl Lookup {
     }
 }
 
+/// Checkpoint of a cache's functional state: tag/valid/dirty arrays,
+/// replacement metadata (LRU stamps, MRU hints, PLRU bits, random-policy
+/// RNG), and the classification shadow structures. Statistics counters are
+/// **not** part of a snapshot — restoring rewinds *state*, not accounting,
+/// so a warmup pass followed by [`Cache::restore`] leaves the miss counters
+/// measuring exactly what ran after the restore point (callers difference
+/// stats with [`crate::CacheStats::since`]).
+#[derive(Debug, Clone)]
+pub struct CacheSnapshot {
+    cfg: CacheConfig,
+    lines: Box<[Line]>,
+    mru: Box<[u32]>,
+    plru: Vec<u64>,
+    stamp: u64,
+    rng: u64,
+    shadow: Option<LruSet>,
+    seen: PagedBits,
+}
+
 /// A block evicted by a fill.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Eviction {
@@ -387,6 +406,37 @@ impl Cache {
     pub fn resident(&self) -> usize {
         self.lines.iter().filter(|l| l.valid).count()
     }
+
+    /// Captures the functional state (see [`CacheSnapshot`]).
+    pub fn snapshot(&self) -> CacheSnapshot {
+        CacheSnapshot {
+            cfg: self.cfg,
+            lines: self.lines.clone(),
+            mru: self.mru.clone(),
+            plru: self.plru.clone(),
+            stamp: self.stamp,
+            rng: self.rng,
+            shadow: self.shadow.clone(),
+            seen: self.seen.clone(),
+        }
+    }
+
+    /// Restores a snapshot taken from a cache of identical geometry and
+    /// policy. Statistics counters are left untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot was taken from a differently-configured cache.
+    pub fn restore(&mut self, snap: &CacheSnapshot) {
+        assert_eq!(self.cfg, snap.cfg, "cache snapshot geometry mismatch");
+        self.lines = snap.lines.clone();
+        self.mru = snap.mru.clone();
+        self.plru = snap.plru.clone();
+        self.stamp = snap.stamp;
+        self.rng = snap.rng;
+        self.shadow = snap.shadow.clone();
+        self.seen = snap.seen.clone();
+    }
 }
 
 #[cfg(test)]
@@ -618,6 +668,49 @@ mod tests {
             (s.accesses, s.hits, s.misses, s.compulsory, s.capacity, s.conflict, s.writebacks),
             (20000, 3232, 16768, 200, 15744, 824, 8442),
         );
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_identically() {
+        // Two caches at the same warm state (one via restore) must agree on
+        // every subsequent hit/miss/eviction — the snapshot captures all
+        // replacement and classification state.
+        let mut warm = tiny();
+        let mut state = 7u64;
+        let step = |s: &mut u64| {
+            *s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (*s >> 33) % 40
+        };
+        for _ in 0..500 {
+            let b = step(&mut state);
+            if !warm.access(b, false).is_hit() {
+                warm.fill(b, false);
+            }
+        }
+        let snap = warm.snapshot();
+        let mut restored = tiny();
+        restored.restore(&snap);
+        assert_eq!(restored.stats().accesses, 0, "restore must not import stats");
+        let mut replay = state;
+        for _ in 0..500 {
+            let b = step(&mut state);
+            let bb = step(&mut replay);
+            assert_eq!(b, bb);
+            let hit_a = warm.access(b, false).is_hit();
+            let hit_b = restored.access(b, false).is_hit();
+            assert_eq!(hit_a, hit_b, "divergence at block {b}");
+            if !hit_a {
+                assert_eq!(warm.fill(b, false), restored.fill(b, false));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "geometry mismatch")]
+    fn restore_rejects_other_geometry() {
+        let snap = tiny().snapshot();
+        let mut other = Cache::new(CacheConfig::kib(32, 4, 32));
+        other.restore(&snap);
     }
 
     #[test]

@@ -10,12 +10,35 @@
 //! the selective scheme exploits.
 
 use crate::bypass::{BypassConfig, BypassEngine, FillDecision};
-use crate::cache::{Cache, CacheConfig};
+use crate::cache::{Cache, CacheConfig, CacheSnapshot};
 use crate::probe::{AssistEvent, CacheLevel, NullProbe, Probe, Site};
 use crate::stats::{AssistStats, HierarchyStats};
-use crate::tlb::{Tlb, TlbConfig};
+use crate::tlb::{Tlb, TlbConfig, TlbSnapshot};
 use crate::victim::VictimCache;
 use selcache_ir::Addr;
+
+/// Checkpoint of the whole hierarchy's functional state: every cache's
+/// tag/replacement arrays, both TLBs, the assist structures (MAT/SLDT,
+/// bypass buffer, victim caches, stream buffers), and the run-time assist
+/// flag. Timing state (port/bus occupancy, open DRAM rows) and the
+/// cache/TLB statistics counters are **not** captured: a restore starts
+/// from an idle memory system, and measurements across a restore take the
+/// post-restore [`MemoryHierarchy::stats`] as their baseline and difference
+/// with [`HierarchyStats::since`]. This is the checkpoint format the
+/// sampled execution mode stores per representative interval.
+#[derive(Debug, Clone)]
+pub struct HierarchySnapshot {
+    l1d: CacheSnapshot,
+    l1i: CacheSnapshot,
+    l2: CacheSnapshot,
+    dtlb: TlbSnapshot,
+    itlb: TlbSnapshot,
+    bypass: Option<BypassEngine>,
+    victim_l1: Option<VictimCache>,
+    victim_l2: Option<VictimCache>,
+    stream: Option<crate::stream::StreamBuffers>,
+    enabled: bool,
+}
 
 /// Which hardware locality-optimization mechanism is attached.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -496,6 +519,70 @@ impl MemoryHierarchy {
     pub fn bypass_engine(&self) -> Option<&BypassEngine> {
         self.bypass.as_ref()
     }
+
+    /// Applies a data access *functionally*: cache, TLB, and assist state
+    /// advance exactly as under [`MemoryHierarchy::data_access`], but the
+    /// computed latency is discarded. Timing never feeds back into which
+    /// blocks are allocated or evicted, so functional warmup through this
+    /// path reproduces the timed path's state transitions bit-for-bit at a
+    /// fraction of a detailed pipeline's cost. Call
+    /// [`MemoryHierarchy::reset_timing`] before timed simulation resumes.
+    pub fn warm_access(&mut self, addr: Addr, write: bool) {
+        let _ = self.data_access(addr, write, 0);
+    }
+
+    /// [`MemoryHierarchy::warm_access`] for an instruction fetch.
+    pub fn warm_fetch(&mut self, pc: u64) {
+        let _ = self.inst_fetch(pc, 0);
+    }
+
+    /// Clears the timing-only state (L2 port and memory-bus occupancy, open
+    /// DRAM rows) so timed simulation can start from an idle memory system
+    /// after a functional-warmup pass or a snapshot restore.
+    pub fn reset_timing(&mut self) {
+        self.l2_busy_until = 0;
+        self.mem_busy_until = 0;
+        for row in &mut self.open_dram_rows {
+            *row = u64::MAX;
+        }
+    }
+
+    /// Captures the functional state (see [`HierarchySnapshot`]).
+    pub fn snapshot(&self) -> HierarchySnapshot {
+        HierarchySnapshot {
+            l1d: self.l1d.snapshot(),
+            l1i: self.l1i.snapshot(),
+            l2: self.l2.snapshot(),
+            dtlb: self.dtlb.snapshot(),
+            itlb: self.itlb.snapshot(),
+            bypass: self.bypass.clone(),
+            victim_l1: self.victim_l1.clone(),
+            victim_l2: self.victim_l2.clone(),
+            stream: self.stream.clone(),
+            enabled: self.enabled,
+        }
+    }
+
+    /// Restores a snapshot taken from an identically-configured hierarchy
+    /// and resets the timing state. Statistics counters are left untouched;
+    /// difference them across the restore with [`HierarchyStats::since`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any cache geometry disagrees with the snapshot's.
+    pub fn restore(&mut self, snap: &HierarchySnapshot) {
+        self.l1d.restore(&snap.l1d);
+        self.l1i.restore(&snap.l1i);
+        self.l2.restore(&snap.l2);
+        self.dtlb.restore(&snap.dtlb);
+        self.itlb.restore(&snap.itlb);
+        self.bypass = snap.bypass.clone();
+        self.victim_l1 = snap.victim_l1.clone();
+        self.victim_l2 = snap.victim_l2.clone();
+        self.stream = snap.stream.clone();
+        self.enabled = snap.enabled;
+        self.reset_timing();
+    }
 }
 
 #[cfg(test)]
@@ -794,6 +881,80 @@ mod tests {
                 }
             }
             assert_eq!(probe.stats(), h.stats(), "event stream incomplete for {assist:?}");
+        }
+    }
+
+    /// Address mix exercising L1/L2/victim/bypass/stream state.
+    fn mixed_addr(i: u64) -> Addr {
+        match i % 5 {
+            0 | 1 => Addr(0x1000_0000 + i * 8),
+            2 => Addr(0x2000_0000 + (i % 7) * 8192),
+            3 => Addr(0x1000_0000 + (i % 11) * 4096),
+            _ => Addr(0x3000_0000 + (i % 3) * 16384),
+        }
+    }
+
+    #[test]
+    fn warm_access_matches_timed_state() {
+        // Functional warmup (warm_access/warm_fetch at now=0) must leave the
+        // hierarchy in the same functional state as the timed path: after
+        // reset_timing, both produce identical miss deltas on a probe run.
+        for assist in [AssistKind::None, AssistKind::Bypass, AssistKind::Victim, AssistKind::Stream]
+        {
+            let mut timed = MemoryHierarchy::new(HierarchyConfig::paper_base(assist));
+            let mut warm = MemoryHierarchy::new(HierarchyConfig::paper_base(assist));
+            let mut now = 0;
+            for i in 0..3000u64 {
+                now += 37;
+                let addr = mixed_addr(i);
+                timed.data_access(addr, i % 4 == 0, now);
+                warm.warm_access(addr, i % 4 == 0);
+                if i % 3 == 0 {
+                    timed.inst_fetch(0x40_0000 + (i % 64) * 64, now);
+                    warm.warm_fetch(0x40_0000 + (i % 64) * 64);
+                }
+            }
+            timed.reset_timing();
+            warm.reset_timing();
+            let (bt, bw) = (timed.stats(), warm.stats());
+            let mut t = 0;
+            for i in 3000..4000u64 {
+                t += 37;
+                let a = timed.data_access(mixed_addr(i), i % 4 == 0, t);
+                let b = warm.data_access(mixed_addr(i), i % 4 == 0, t);
+                assert_eq!(a, b, "latency diverged at op {i} for {assist:?}");
+            }
+            assert_eq!(timed.stats().since(&bt), warm.stats().since(&bw), "{assist:?}");
+        }
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_identically() {
+        for assist in [AssistKind::None, AssistKind::Bypass, AssistKind::Victim, AssistKind::Stream]
+        {
+            let mut h = MemoryHierarchy::new(HierarchyConfig::paper_base(assist));
+            for i in 0..2000u64 {
+                h.warm_access(mixed_addr(i), i % 4 == 0);
+            }
+            h.set_assist_enabled(false);
+            let snap = h.snapshot();
+            let mut clone_at_snap = h.clone();
+            clone_at_snap.reset_timing();
+            // Diverge, then restore into the dirtied hierarchy.
+            for i in 5000..6000u64 {
+                h.data_access(mixed_addr(i), false, i * 13);
+            }
+            h.set_assist_enabled(true);
+            h.restore(&snap);
+            let (bh, bc) = (h.stats(), clone_at_snap.stats());
+            let mut now = 0;
+            for i in 2000..3000u64 {
+                now += 37;
+                let a = h.data_access(mixed_addr(i), i % 4 == 0, now);
+                let b = clone_at_snap.data_access(mixed_addr(i), i % 4 == 0, now);
+                assert_eq!(a, b, "latency diverged at op {i} for {assist:?}");
+            }
+            assert_eq!(h.stats().since(&bh), clone_at_snap.stats().since(&bc), "{assist:?}");
         }
     }
 }

@@ -52,6 +52,21 @@ impl CacheStats {
         }
     }
 
+    /// Counter deltas accumulated since `earlier` (a baseline snapshot of
+    /// the same cache). Saturating, so a rewound counter yields 0 rather
+    /// than wrapping.
+    pub fn since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            accesses: self.accesses.saturating_sub(earlier.accesses),
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            compulsory: self.compulsory.saturating_sub(earlier.compulsory),
+            capacity: self.capacity.saturating_sub(earlier.capacity),
+            conflict: self.conflict.saturating_sub(earlier.conflict),
+            writebacks: self.writebacks.saturating_sub(earlier.writebacks),
+        }
+    }
+
     pub(crate) fn record_miss(&mut self, class: MissClass) {
         self.misses += 1;
         match class {
@@ -100,6 +115,22 @@ pub struct AssistStats {
     pub assisted_accesses: u64,
 }
 
+impl AssistStats {
+    /// Counter deltas accumulated since `earlier` (saturating).
+    pub fn since(&self, earlier: &AssistStats) -> AssistStats {
+        AssistStats {
+            bypass_buffer_hits: self.bypass_buffer_hits.saturating_sub(earlier.bypass_buffer_hits),
+            bypassed_fills: self.bypassed_fills.saturating_sub(earlier.bypassed_fills),
+            l2_bypassed_fills: self.l2_bypassed_fills.saturating_sub(earlier.l2_bypassed_fills),
+            spatial_prefetches: self.spatial_prefetches.saturating_sub(earlier.spatial_prefetches),
+            l1_victim_hits: self.l1_victim_hits.saturating_sub(earlier.l1_victim_hits),
+            l2_victim_hits: self.l2_victim_hits.saturating_sub(earlier.l2_victim_hits),
+            stream_hits: self.stream_hits.saturating_sub(earlier.stream_hits),
+            assisted_accesses: self.assisted_accesses.saturating_sub(earlier.assisted_accesses),
+        }
+    }
+}
+
 /// All hierarchy statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct HierarchyStats {
@@ -115,6 +146,52 @@ pub struct HierarchyStats {
     pub itlb_misses: u64,
     /// Assist counters.
     pub assist: AssistStats,
+}
+
+impl HierarchyStats {
+    /// Counter deltas accumulated since `earlier` — the measurement
+    /// primitive of the sampled execution mode: snapshot the stats after
+    /// warmup, run the measured interval, and difference to isolate the
+    /// interval's own misses.
+    pub fn since(&self, earlier: &HierarchyStats) -> HierarchyStats {
+        HierarchyStats {
+            l1d: self.l1d.since(&earlier.l1d),
+            l1i: self.l1i.since(&earlier.l1i),
+            l2: self.l2.since(&earlier.l2),
+            dtlb_misses: self.dtlb_misses.saturating_sub(earlier.dtlb_misses),
+            itlb_misses: self.itlb_misses.saturating_sub(earlier.itlb_misses),
+            assist: self.assist.since(&earlier.assist),
+        }
+    }
+
+    /// Field-wise sum of `self` and `other` scaled by `w` (weighted
+    /// extrapolation of per-interval stats; fractional counts round to
+    /// nearest).
+    pub fn add_scaled(&mut self, other: &HierarchyStats, w: f64) {
+        let s = |x: u64| (x as f64 * w).round().max(0.0) as u64;
+        let add_cache = |dst: &mut CacheStats, src: &CacheStats| {
+            dst.accesses += s(src.accesses);
+            dst.hits += s(src.hits);
+            dst.misses += s(src.misses);
+            dst.compulsory += s(src.compulsory);
+            dst.capacity += s(src.capacity);
+            dst.conflict += s(src.conflict);
+            dst.writebacks += s(src.writebacks);
+        };
+        add_cache(&mut self.l1d, &other.l1d);
+        add_cache(&mut self.l1i, &other.l1i);
+        add_cache(&mut self.l2, &other.l2);
+        self.dtlb_misses += s(other.dtlb_misses);
+        self.itlb_misses += s(other.itlb_misses);
+        self.assist.bypass_buffer_hits += s(other.assist.bypass_buffer_hits);
+        self.assist.bypassed_fills += s(other.assist.bypassed_fills);
+        self.assist.l2_bypassed_fills += s(other.assist.l2_bypassed_fills);
+        self.assist.spatial_prefetches += s(other.assist.spatial_prefetches);
+        self.assist.l1_victim_hits += s(other.assist.l1_victim_hits);
+        self.assist.l2_victim_hits += s(other.assist.l2_victim_hits);
+        self.assist.stream_hits += s(other.assist.stream_hits);
+        self.assist.assisted_accesses += s(other.assist.assisted_accesses);
+    }
 }
 
 #[cfg(test)]

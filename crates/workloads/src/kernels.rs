@@ -13,9 +13,9 @@ fn at(v: selcache_ir::VarId) -> Subscript {
 /// along the sweep direction and strides by a full row in the base code;
 /// the software optimizer repairs it with interchange/layout.
 pub fn adi(scale: Scale) -> Program {
-    let r = scale.pick(2560, 3584, 6144);
+    let r = scale.pick(2560, 3584, 6144, 98_304);
     let c = 16i64;
-    let t = scale.pick(1, 2, 2);
+    let t = scale.pick(1, 2, 2, 2);
     let mut b = ProgramBuilder::new("adi");
     let x = b.array("AX", &[r, c], 8);
     let ay = b.array("AY", &[r, c], 8);
@@ -53,11 +53,11 @@ pub fn adi(scale: Scale) -> Program {
 /// through the edge list, then a regular grid phase updates a dense force
 /// grid (written column-order in the base code).
 pub fn chaos(scale: Scale) -> Program {
-    let nodes = scale.pick(2048, 8192, 20_000);
+    let nodes = scale.pick(2048, 8192, 20_000, 320_000);
     let edges = (nodes * 4) as usize;
-    let grid = scale.pick(1536, 2560, 4096);
+    let grid = scale.pick(1536, 2560, 4096, 65_536);
     let gcols = 16i64;
-    let t = scale.pick(2, 3, 3);
+    let t = scale.pick(2, 3, 3, 3);
     let mut rng = data::rng(0xC405);
 
     let mut b = ProgramBuilder::new("chaos");

@@ -5,6 +5,9 @@
 /// The paper runs SPEC/TPC inputs to completion (11M–878M instructions);
 /// we scale the synthetic equivalents so full experiment sweeps finish in
 /// minutes while keeping every footprint well beyond the L1 and into the L2.
+/// `Large` exists for the sampled execution mode: traces in the tens of
+/// millions of ops, where exact simulation takes seconds per run and
+/// interval sampling pays off.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Scale {
     /// Unit-test size: tens of thousands of instructions.
@@ -14,24 +17,28 @@ pub enum Scale {
     Small,
     /// Figure-quality size: millions of instructions per run.
     Medium,
+    /// Sampling-scale size: tens of millions of instructions per run.
+    Large,
 }
 
 impl Scale {
-    /// A problem dimension: picks from `(tiny, small, medium)`.
-    pub fn pick(&self, tiny: i64, small: i64, medium: i64) -> i64 {
+    /// A problem dimension: picks from `(tiny, small, medium, large)`.
+    pub fn pick(&self, tiny: i64, small: i64, medium: i64, large: i64) -> i64 {
         match self {
             Scale::Tiny => tiny,
             Scale::Small => small,
             Scale::Medium => medium,
+            Scale::Large => large,
         }
     }
 
-    /// Parses `"tiny" | "small" | "medium"` (case-insensitive).
+    /// Parses `"tiny" | "small" | "medium" | "large"` (case-insensitive).
     pub fn parse(s: &str) -> Option<Scale> {
         match s.to_ascii_lowercase().as_str() {
             "tiny" => Some(Scale::Tiny),
             "small" => Some(Scale::Small),
             "medium" => Some(Scale::Medium),
+            "large" => Some(Scale::Large),
             _ => None,
         }
     }
@@ -43,6 +50,7 @@ impl std::fmt::Display for Scale {
             Scale::Tiny => "tiny",
             Scale::Small => "small",
             Scale::Medium => "medium",
+            Scale::Large => "large",
         };
         write!(f, "{s}")
     }
@@ -54,17 +62,19 @@ mod tests {
 
     #[test]
     fn pick_selects() {
-        assert_eq!(Scale::Tiny.pick(1, 2, 3), 1);
-        assert_eq!(Scale::Small.pick(1, 2, 3), 2);
-        assert_eq!(Scale::Medium.pick(1, 2, 3), 3);
+        assert_eq!(Scale::Tiny.pick(1, 2, 3, 4), 1);
+        assert_eq!(Scale::Small.pick(1, 2, 3, 4), 2);
+        assert_eq!(Scale::Medium.pick(1, 2, 3, 4), 3);
+        assert_eq!(Scale::Large.pick(1, 2, 3, 4), 4);
     }
 
     #[test]
     fn parse_roundtrip() {
-        for s in [Scale::Tiny, Scale::Small, Scale::Medium] {
+        for s in [Scale::Tiny, Scale::Small, Scale::Medium, Scale::Large] {
             assert_eq!(Scale::parse(&s.to_string()), Some(s));
         }
-        assert_eq!(Scale::parse("LARGE"), None);
+        assert_eq!(Scale::parse("LARGE"), Some(Scale::Large));
+        assert_eq!(Scale::parse("huge"), None);
         assert_eq!(Scale::parse("Medium"), Some(Scale::Medium));
     }
 }

@@ -31,8 +31,8 @@ const COLS: i64 = 16;
 /// *Swim*: shallow-water stencil over several tall grids, three sweeps per
 /// timestep, written in column order.
 pub fn swim(scale: Scale) -> Program {
-    let r = scale.pick(1536, 2304, 4096);
-    let t = scale.pick(1, 2, 2);
+    let r = scale.pick(1536, 2304, 4096, 65_536);
+    let t = scale.pick(1, 2, 2, 2);
     let n = COLS;
     let mut b = ProgramBuilder::new("swim");
     let u = b.array("U", &[r, n], 8);
@@ -100,9 +100,9 @@ pub fn swim(scale: Scale) -> Program {
 /// *Mgrid*: 3-D multigrid relaxation — a stencil swept with the worst
 /// possible loop order over a deep grid, plus a stride-2 coarsening pass.
 pub fn mgrid(scale: Scale) -> Program {
-    let r = scale.pick(896, 1536, 2560);
+    let r = scale.pick(896, 1536, 2560, 40_960);
     let m = 8i64;
-    let t = scale.pick(1, 2, 2);
+    let t = scale.pick(1, 2, 2, 2);
     let mut b = ProgramBuilder::new("mgrid");
     let u = b.array("U3", &[r, m, m], 8);
     let rr = b.array("R3", &[r, m, m], 8);
@@ -160,7 +160,7 @@ pub fn mgrid(scale: Scale) -> Program {
 /// FP92) — eight same-sized planes swept along columns; the original shows
 /// a 52 % L1 miss rate on the base machine.
 pub fn vpenta(scale: Scale) -> Program {
-    let r = scale.pick(1536, 2304, 4096);
+    let r = scale.pick(1536, 2304, 4096, 98_304);
     let n = COLS;
     let mut b = ProgramBuilder::new("vpenta");
     let names = ["VA", "VB", "VC", "VD", "VE", "VF", "VX", "VY"];
@@ -198,9 +198,9 @@ pub fn vpenta(scale: Scale) -> Program {
 /// an irregular code — the lower/upper triangular sweeps walk jacobian
 /// blocks in pivot order through index tables.
 pub fn applu(scale: Scale) -> Program {
-    let n = scale.pick(2048, 8192, 24576); // pivot entries
-    let blocks = scale.pick(1024, 4096, 12288);
-    let t = scale.pick(2, 3, 3);
+    let n = scale.pick(2048, 8192, 24576, 393_216); // pivot entries
+    let blocks = scale.pick(1024, 4096, 12288, 196_608);
+    let t = scale.pick(2, 3, 3, 3);
     let mut rng = data::rng(0xA991);
     let mut b = ProgramBuilder::new("applu");
     let jac = b.array("JAC", &[blocks * 5], 8);
@@ -211,7 +211,7 @@ pub fn applu(scale: Scale) -> Program {
         4,
     );
     let col = b.data_array("COLIDX", data::uniform_indices(&mut rng, n as usize, blocks * 5), 4);
-    let small = scale.pick(768, 1536, 3072);
+    let small = scale.pick(768, 1536, 3072, 49_152);
     let tmp = b.array("TMP", &[small, COLS], 8);
     let tmp2 = b.array("TMP2", &[small, COLS], 8);
 

@@ -11,10 +11,10 @@ use selcache_ir::{AffineExpr, Program, ProgramBuilder, Subscript};
 /// *Perl*: interpreter main loop — skewed symbol-table probes (hot), an AST
 /// pointer walk (cold), and opcode dispatch arithmetic.
 pub fn perl(scale: Scale) -> Program {
-    let ops = scale.pick(1500, 12_000, 40_000);
+    let ops = scale.pick(1500, 12_000, 40_000, 655_360);
     let symtab_entries = 512i64;
-    let ast_nodes = scale.pick(2048, 8192, 16_384);
-    let t = scale.pick(2, 2, 2);
+    let ast_nodes = scale.pick(2048, 8192, 16_384, 262_144);
+    let t = scale.pick(2, 2, 2, 2);
     let mut rng = data::rng(0x9E51);
 
     let mut b = ProgramBuilder::new("perl");
@@ -26,10 +26,10 @@ pub fn perl(scale: Scale) -> Program {
     );
     let ast = b.array("AST", &[ast_nodes], 32);
     let ast_next = b.data_array("ASTNEXT", data::chain_next(&mut rng, ast_nodes), 8);
-    let strbuf = b.array("STRBUF", &[scale.pick(4096, 16_384, 32_768)], 1);
+    let strbuf = b.array("STRBUF", &[scale.pick(4096, 16_384, 32_768, 524_288)], 1);
     let stridx = b.data_array(
         "STRIDX",
-        data::uniform_indices(&mut rng, ops as usize, scale.pick(4096, 16_384, 32_768)),
+        data::uniform_indices(&mut rng, ops as usize, scale.pick(4096, 16_384, 32_768, 524_288)),
         4,
     );
 
@@ -62,8 +62,8 @@ pub fn perl(scale: Scale) -> Program {
 /// *Compress*: LZW — large hash-table probes (uniform, cold) against a hot
 /// code table, over a regular input scan.
 pub fn compress(scale: Scale) -> Program {
-    let input = scale.pick(3000, 25_000, 80_000);
-    let htab_size = scale.pick(8192, 32_768, 69_001);
+    let input = scale.pick(3000, 25_000, 80_000, 1_310_720);
+    let htab_size = scale.pick(8192, 32_768, 69_001, 1_100_003);
     let codes = 4096i64;
     // Seed chosen so the synthetic draw reproduces the paper's compress
     // characteristic (software-optimization-neutral, hardware-assist
@@ -98,10 +98,10 @@ pub fn compress(scale: Scale) -> Program {
 /// *Li*: xlisp — cons-cell evaluation walks (hot environment, cold heap)
 /// alternating with a mark phase over a second chain.
 pub fn li(scale: Scale) -> Program {
-    let evals = scale.pick(1200, 10_000, 32_000);
-    let cells = scale.pick(4096, 16_384, 32_768);
+    let evals = scale.pick(1200, 10_000, 32_000, 524_288);
+    let cells = scale.pick(4096, 16_384, 32_768, 262_144);
     let env_size = 256i64;
-    let t = scale.pick(2, 3, 3);
+    let t = scale.pick(2, 3, 3, 3);
     let mut rng = data::rng(0x0011);
 
     let mut b = ProgramBuilder::new("li");

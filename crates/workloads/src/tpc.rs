@@ -42,10 +42,10 @@ impl TpcSizes {
     /// Sizes for a scale preset.
     pub fn of(scale: Scale) -> TpcSizes {
         TpcSizes {
-            lineitem: scale.pick(12_000, 30_000, 80_000),
-            orders: scale.pick(3_000, 7_500, 20_000),
-            stock: scale.pick(2048, 8192, 25_000),
-            transactions: scale.pick(1_500, 5_000, 12_000),
+            lineitem: scale.pick(12_000, 30_000, 80_000, 1_600_000),
+            orders: scale.pick(3_000, 7_500, 20_000, 400_000),
+            stock: scale.pick(2048, 8192, 25_000, 500_000),
+            transactions: scale.pick(1_500, 5_000, 12_000, 240_000),
         }
     }
 }

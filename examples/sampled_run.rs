@@ -1,0 +1,120 @@
+//! Sampled-mode cross-check: interval selection and weighted reconstruction
+//! against an exact run of the same jobs.
+//!
+//! ```text
+//! cargo run --release --example sampled_run [-- <benchmark> [<scale>] [<max-cpi-err-pct>]]
+//! ```
+//!
+//! Runs the Base and Selective versions of one benchmark twice — exact and
+//! with `SimMode::sampled()` — prints the interval-selection coverage and the
+//! per-metric comparison, and exits 1 when the worst CPI error exceeds the
+//! bound (default 3%, the accuracy bound DESIGN.md §12 documents). CI's
+//! `sampled-accuracy` step runs this on two benchmarks.
+
+use selcache::core::{AssistKind, ExperimentBuilder, MachineConfig, SimMode, SimResult, Version};
+use selcache::workloads::{Benchmark, Scale};
+use std::time::Instant;
+
+fn cpi(r: &SimResult) -> f64 {
+    r.cycles as f64 / r.instructions.max(1) as f64
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let name = args.next().unwrap_or_else(|| "Vpenta".to_string());
+    let benchmark = Benchmark::parse(&name).unwrap_or_else(|| {
+        eprintln!("unknown benchmark {name:?}; available:");
+        for b in Benchmark::ALL {
+            eprintln!("  {b}");
+        }
+        std::process::exit(2);
+    });
+    let scale = match args.next() {
+        Some(s) => Scale::parse(&s).unwrap_or_else(|| {
+            eprintln!("unknown scale {s:?}; use tiny|small|medium|large");
+            std::process::exit(2);
+        }),
+        None => Scale::Large,
+    };
+    let bound_pct: f64 = match args.next() {
+        Some(s) => s.parse().unwrap_or_else(|_| {
+            eprintln!("invalid error bound {s:?}; use a percentage like 3.0");
+            std::process::exit(2);
+        }),
+        None => 3.0,
+    };
+
+    let machine = MachineConfig::base();
+    let exact_exp =
+        ExperimentBuilder::new().machine(machine.clone()).assist(AssistKind::Bypass).build();
+    let sampled_exp = ExperimentBuilder::new()
+        .machine(machine)
+        .assist(AssistKind::Bypass)
+        .mode(SimMode::sampled())
+        .build();
+
+    println!("sampled cross-check: {benchmark} at scale {scale} (bound {bound_pct}% CPI)");
+    let mut max_cpi_err_pct: f64 = 0.0;
+    let mut max_l1_err_pts: f64 = 0.0;
+    for version in [Version::Base, Version::Selective] {
+        let t0 = Instant::now();
+        let exact = exact_exp.run(benchmark, scale, version);
+        let exact_secs = t0.elapsed().as_secs_f64();
+        let t0 = Instant::now();
+        let sampled = sampled_exp.run(benchmark, scale, version);
+        let sampled_secs = t0.elapsed().as_secs_f64();
+        let info = sampled.sampled.expect("sampled runs report coverage");
+
+        // Interval selection: how much of the trace the detailed pipeline
+        // actually saw, and from how many representative intervals the
+        // whole-trace counters were reconstructed.
+        println!("\n{version:?}:");
+        println!(
+            "  selection      {} intervals -> {} representatives \
+             ({} of {} ops detailed, {:.2}% coverage, {} warmup ops)",
+            info.intervals,
+            info.representatives,
+            info.detailed_ops,
+            info.total_ops,
+            info.coverage() * 100.0,
+            info.warmup_ops,
+        );
+        assert_eq!(sampled.instructions, exact.instructions, "op counts are exact");
+
+        // Weighted reconstruction vs the exact run.
+        let cpi_err_pct = (cpi(&sampled) - cpi(&exact)).abs() / cpi(&exact) * 100.0;
+        let l1_err_pts = (sampled.l1_miss_pct() - exact.l1_miss_pct()).abs();
+        println!(
+            "  cycles         exact {:>12}  sampled {:>12}  (CPI {:.4} vs {:.4}, err {:.2}%)",
+            exact.cycles,
+            sampled.cycles,
+            cpi(&exact),
+            cpi(&sampled),
+            cpi_err_pct,
+        );
+        println!(
+            "  L1 miss rate   exact {:>11.2}%  sampled {:>11.2}%  (err {:.2} pts)",
+            exact.l1_miss_pct(),
+            sampled.l1_miss_pct(),
+            l1_err_pts,
+        );
+        println!(
+            "  wall clock     exact {:>10.0} ms  sampled {:>10.0} ms  ({:.1}x)",
+            exact_secs * 1e3,
+            sampled_secs * 1e3,
+            if sampled_secs > 0.0 { exact_secs / sampled_secs } else { 0.0 },
+        );
+        max_cpi_err_pct = max_cpi_err_pct.max(cpi_err_pct);
+        max_l1_err_pts = max_l1_err_pts.max(l1_err_pts);
+    }
+
+    println!(
+        "\nworst case: CPI err {max_cpi_err_pct:.2}% (bound {bound_pct}%), \
+         L1 miss err {max_l1_err_pts:.2} pts"
+    );
+    if max_cpi_err_pct > bound_pct {
+        eprintln!("FAIL: CPI error exceeds the {bound_pct}% bound");
+        std::process::exit(1);
+    }
+    println!("OK");
+}
