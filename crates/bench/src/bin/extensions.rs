@@ -5,15 +5,18 @@
 //!    the same four-version protocol as bypassing and victim caches.
 //! 2. The extension compiler passes (loop fusion, loop distribution,
 //!    unroll-and-jam) measured on top of the default pipeline.
+//! 3. The online assist controller (`selcache-adapt`) swept over its
+//!    decision-interval length, against the static selective scheme.
 //!
 //! Usage: `cargo run --release -p selcache-bench --bin extensions
 //! [-- --scale tiny|small|medium] [--threads N]`
 
+use selcache_bench::adapt::Ablation;
 use selcache_bench::Cli;
 use selcache_compiler::{insert_markers_for, optimize, AssistPolicy, OptConfig};
 use selcache_core::{
-    AssistKind, Benchmark, Experiment, JobEngine, MachineConfig, Scale, SimJob, SuiteResult,
-    Version,
+    AssistKind, Benchmark, ControllerConfig, Experiment, JobEngine, MachineConfig, Scale, SimJob,
+    SuiteResult, Version,
 };
 
 fn main() {
@@ -22,6 +25,45 @@ fn main() {
     assists_table(&engine, cli.scale);
     assist_aware_selective(cli.scale);
     extension_passes(&engine, cli.scale);
+    controller_sensitivity(&engine, cli.scale);
+}
+
+/// Decision-interval sensitivity of the dynamic controller: too short and
+/// the miss samples are noisy (spurious re-exploration), too long and the
+/// controller reacts late and spends more of the run exploring at full
+/// interval granularity. Averages over one benchmark per category.
+fn controller_sensitivity(engine: &JobEngine, scale: Scale) {
+    println!("== Extension: adapt controller interval sensitivity ==");
+    println!(
+        "{:<16} {:>9} {:>9} {:>9} {:>6}",
+        "Interval", "Static%", "Dynamic%", "Switches", "Wins"
+    );
+    let benchmarks = [Benchmark::Adi, Benchmark::Li, Benchmark::Chaos];
+    for interval in [128u32, 512, 2048] {
+        let ctl = ControllerConfig { interval_accesses: interval, ..ControllerConfig::default() };
+        let ab = Ablation::run(
+            engine,
+            &MachineConfig::base(),
+            AssistKind::Bypass,
+            ctl,
+            scale,
+            &benchmarks,
+        );
+        let n = ab.rows.len();
+        let st: f64 = ab.rows.iter().map(|r| r.static_improvement_pct).sum::<f64>() / n as f64;
+        let dy: f64 = ab.rows.iter().map(|r| r.dynamic_improvement_pct).sum::<f64>() / n as f64;
+        let switches: u64 = ab.rows.iter().map(|r| r.policy_switches).sum();
+        println!(
+            "{:<16} {:>8.2}% {:>8.2}% {:>9} {:>4}/{}",
+            format!("{interval} accesses"),
+            st,
+            dy,
+            switches,
+            ab.dynamic_wins(),
+            n,
+        );
+    }
+    println!();
 }
 
 /// Assist-aware region preference: the selective scheme with the marker

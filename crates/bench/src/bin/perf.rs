@@ -28,12 +28,17 @@
 //! largest configured scale, exact versus `SimMode::sampled()`, and
 //! reports the speedup plus the worst-case CPI and L1-miss-rate error of
 //! the weighted extrapolation.
+//!
+//! A `dynamic_adapt` cell times one run under the online assist controller
+//! (every region ON, the controller picking {off, bypass, victim} at run
+//! time), so controller overhead in the simulator hot path is tracked by
+//! the same regression gate.
 
 use selcache_bench::json::Json;
 use selcache_bench::ops_per_sec;
 use selcache_core::{
-    AssistKind, Benchmark, JobEngine, MachineConfig, Scale, SimJob, SimMode, SimResult, Store,
-    SweepAxis, SweepMode, SweepSpec, Version,
+    AssistKind, Benchmark, ControllerConfig, JobEngine, MachineConfig, Scale, SimJob, SimMode,
+    SimResult, Store, SweepAxis, SweepMode, SweepSpec, Version,
 };
 use std::path::PathBuf;
 use std::time::Instant;
@@ -64,6 +69,10 @@ const SWEEP_BENCH: Benchmark = Benchmark::TpcDQ6;
 /// are still affordable enough to cross-check every artifact).
 const SAMPLED_BENCH: Benchmark = Benchmark::Vpenta;
 const SAMPLED_SCALE: Scale = Scale::Large;
+
+/// Benchmark the dynamic-controller cell times — a pointer-chaser, where
+/// the controller does real per-region work (policy switches > 0).
+const DYNAMIC_BENCH: Benchmark = Benchmark::Li;
 
 const USAGE: &str = "usage: perf [--subset tiny|full] [--threads N] [--out PATH] \
 [--baseline PATH] [--store DIR]";
@@ -324,6 +333,36 @@ fn main() {
         max_l1_err_pts,
     );
 
+    // Dynamic-controller cell: one selective run with the adapt controller
+    // attached, serial, best of REPS — tracks the controller's overhead in
+    // the simulator hot path alongside the static cells.
+    let dynamic_job = SimJob::new(
+        DYNAMIC_BENCH,
+        SCALE,
+        MachineConfig::base(),
+        AssistKind::None,
+        Version::Selective,
+    )
+    .with_controller(ControllerConfig::default());
+    let mut dynamic_secs = f64::INFINITY;
+    let mut dynamic_result = None;
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        let mut out = serial.run(std::slice::from_ref(&dynamic_job));
+        dynamic_secs = dynamic_secs.min(t0.elapsed().as_secs_f64());
+        dynamic_result = out.pop();
+    }
+    let dynamic_result = dynamic_result.expect("one job in, one result out");
+    let dynamic_ops_per_sec = ops_per_sec(dynamic_result.instructions, dynamic_secs);
+    eprintln!(
+        "  dynamic_adapt ({})       {:>12.0} ops/s  ({} ops, {:.1} ms, {} switches)",
+        DYNAMIC_BENCH.name(),
+        dynamic_ops_per_sec,
+        dynamic_result.instructions,
+        dynamic_secs * 1e3,
+        dynamic_result.mem.assist.adapt_switches,
+    );
+
     let report = Json::obj([
         ("schema", Json::str("selcache-perf/1")),
         ("subset", Json::str(cli.subset_name)),
@@ -376,6 +415,16 @@ fn main() {
             ]),
         ),
         (
+            "dynamic_adapt",
+            Json::obj([
+                ("benchmark", Json::str(DYNAMIC_BENCH.name())),
+                ("sim_ops", Json::UInt(dynamic_result.instructions)),
+                ("wall_ms", Json::Num(dynamic_secs * 1e3)),
+                ("ops_per_sec", Json::Num(dynamic_ops_per_sec)),
+                ("policy_switches", Json::UInt(dynamic_result.mem.assist.adapt_switches)),
+            ]),
+        ),
+        (
             "benchmarks",
             Json::Arr(
                 cells
@@ -408,7 +457,7 @@ fn main() {
     );
 
     if let Some(path) = &cli.baseline {
-        match gate(&cells, sweep_points_per_sec, path) {
+        match gate(&cells, sweep_points_per_sec, dynamic_ops_per_sec, path) {
             Gate::Skipped(why) => eprintln!("perf: baseline gate skipped ({why})"),
             Gate::Passed(ratio) => {
                 eprintln!("perf: baseline gate passed (geomean ratio {ratio:.3})");
@@ -433,9 +482,14 @@ enum Gate {
 
 /// Compares this run's per-cell throughput with an earlier artifact: the
 /// geometric mean of current/baseline ratios over cells present in both,
-/// with the analytical sweep grid's points/sec included as one more cell
-/// when the baseline carries it.
-fn gate(cells: &[Cell], sweep_points_per_sec: f64, path: &std::path::Path) -> Gate {
+/// with the analytical sweep grid's points/sec and the dynamic-controller
+/// cell's ops/sec included as extra cells when the baseline carries them.
+fn gate(
+    cells: &[Cell],
+    sweep_points_per_sec: f64,
+    dynamic_ops_per_sec: f64,
+    path: &std::path::Path,
+) -> Gate {
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(_) => return Gate::Skipped(format!("no baseline at {}", path.display())),
@@ -468,12 +522,17 @@ fn gate(cells: &[Cell], sweep_points_per_sec: f64, path: &std::path::Path) -> Ga
             n += 1;
         }
     }
-    let baseline_sweep =
-        doc.get("sweep_grid").and_then(|g| g.get("points_per_sec")).and_then(Json::as_f64);
-    if let Some(base) = baseline_sweep {
-        if base > 0.0 && sweep_points_per_sec > 0.0 {
-            log_sum += (sweep_points_per_sec / base).ln();
-            n += 1;
+    let extra_cells = [
+        ("sweep_grid", "points_per_sec", sweep_points_per_sec),
+        ("dynamic_adapt", "ops_per_sec", dynamic_ops_per_sec),
+    ];
+    for (cell, rate_key, cur) in extra_cells {
+        let base = doc.get(cell).and_then(|g| g.get(rate_key)).and_then(Json::as_f64);
+        if let Some(base) = base {
+            if base > 0.0 && cur > 0.0 {
+                log_sum += (cur / base).ln();
+                n += 1;
+            }
         }
     }
     if n == 0 {

@@ -8,9 +8,14 @@
 //! busy and deduplicated runs are simulated once. `--format json` emits
 //! the profiles as a JSON array (each entry carrying its stable
 //! `job_id`); `--format csv` emits one row per (benchmark, region).
+//! With `--dynamic` the runs attach the online assist controller, and the
+//! JSON adds a per-benchmark policy summary: total switch count plus each
+//! region's final {off, bypass, victim} decision.
 use selcache_bench::json::Json;
 use selcache_bench::{Cli, OutputFormat};
-use selcache_core::{format_region_report, MachineConfig, SimJob, SimResult, Version};
+use selcache_core::{
+    format_region_report, ControllerConfig, MachineConfig, SimJob, SimResult, Version,
+};
 use std::fmt::Write as _;
 
 fn region_json(r: &selcache_core::RegionStats) -> Json {
@@ -27,18 +32,42 @@ fn region_json(r: &selcache_core::RegionStats) -> Json {
         ("assisted_accesses", Json::UInt(r.assisted_accesses)),
         ("assist_hits", Json::UInt(r.assist_hits)),
         ("toggles", Json::UInt(r.toggles)),
+        ("policy_switches", Json::UInt(r.policy_switches)),
+        ("final_policy", Json::str(r.final_policy.clone())),
         ("assist_coverage_pct", Json::Num(r.assist_coverage_pct())),
     ])
 }
 
-fn result_json(name: &str, r: &SimResult) -> Json {
+fn result_json(name: &str, r: &SimResult, dynamic: bool) -> Json {
     let profile = r.regions.as_ref().expect("profiled run");
-    let mut pairs = vec![("benchmark", Json::str(name)), ("version", Json::str("selective"))];
+    let version = if dynamic { "selective+adapt" } else { "selective" };
+    let mut pairs = vec![("benchmark", Json::str(name)), ("version", Json::str(version))];
     if let Some(id) = r.job_id {
         pairs.push(("job_id", Json::str(id.to_string())));
     }
     pairs.push(("cycles", Json::UInt(r.cycles)));
     pairs.push(("instructions", Json::UInt(r.instructions)));
+    if dynamic {
+        // Per-region policy-switch summary: how often the controller
+        // changed its mind, and where each region ended up.
+        pairs.push(("policy_switches", Json::UInt(r.mem.assist.adapt_switches)));
+        pairs.push((
+            "final_policies",
+            Json::Arr(
+                profile
+                    .regions()
+                    .iter()
+                    .map(|reg| {
+                        Json::obj([
+                            ("region", Json::str(reg.label.clone())),
+                            ("switches", Json::UInt(reg.policy_switches)),
+                            ("final_policy", Json::str(reg.final_policy.clone())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ));
+    }
     pairs.push(("regions", Json::Arr(profile.regions().iter().map(region_json).collect())));
     Json::obj(pairs)
 }
@@ -48,14 +77,15 @@ fn result_json(name: &str, r: &SimResult) -> Json {
 fn results_csv(names: &[&str], results: &[SimResult]) -> String {
     let mut out = String::from(
         "benchmark,region,cycles,committed,loads,stores,l1d_accesses,l1d_misses,\
-         l2_accesses,l2_misses,assisted_accesses,assist_hits,toggles\n",
+         l2_accesses,l2_misses,assisted_accesses,assist_hits,toggles,\
+         policy_switches,final_policy\n",
     );
     for (name, r) in names.iter().zip(results) {
         let profile = r.regions.as_ref().expect("profiled run");
         for reg in profile.regions() {
             let _ = writeln!(
                 out,
-                "{name},{},{},{},{},{},{},{},{},{},{},{},{}",
+                "{name},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
                 reg.label,
                 reg.cycles,
                 reg.committed,
@@ -67,7 +97,9 @@ fn results_csv(names: &[&str], results: &[SimResult]) -> String {
                 reg.l2_misses,
                 reg.assisted_accesses,
                 reg.assist_hits,
-                reg.toggles
+                reg.toggles,
+                reg.policy_switches,
+                reg.final_policy
             );
         }
     }
@@ -80,27 +112,41 @@ fn main() {
     let benchmarks = cli.benchmarks();
     let machine = MachineConfig::base();
     eprintln!(
-        "profiling {} benchmarks (selective, {:?} assist) at scale {} ({} threads)…",
+        "profiling {} benchmarks (selective{}, {:?} assist) at scale {} ({} threads)…",
         benchmarks.len(),
+        if cli.dynamic { "+adapt" } else { "" },
         cli.assist,
         cli.scale,
         engine.threads()
     );
     let jobs: Vec<SimJob> = benchmarks
         .iter()
-        .map(|&bm| SimJob::new(bm, cli.scale, machine.clone(), cli.assist, Version::Selective))
+        .map(|&bm| {
+            let job = SimJob::new(bm, cli.scale, machine.clone(), cli.assist, Version::Selective);
+            if cli.dynamic {
+                job.with_controller(ControllerConfig::default())
+            } else {
+                job
+            }
+        })
         .collect();
     let results = engine.run_profiled(&jobs);
     match cli.format {
         OutputFormat::Text => {
             for (bm, r) in benchmarks.iter().zip(&results) {
                 print!("{}", format_region_report(bm.name(), r));
+                if cli.dynamic {
+                    println!("policy switches: {}", r.mem.assist.adapt_switches);
+                }
                 println!();
             }
         }
         OutputFormat::Json => {
-            let rows: Vec<Json> =
-                benchmarks.iter().zip(&results).map(|(bm, r)| result_json(bm.name(), r)).collect();
+            let rows: Vec<Json> = benchmarks
+                .iter()
+                .zip(&results)
+                .map(|(bm, r)| result_json(bm.name(), r, cli.dynamic))
+                .collect();
             println!("{}", Json::Arr(rows));
         }
         OutputFormat::Csv => {

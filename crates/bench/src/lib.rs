@@ -34,6 +34,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adapt;
 pub mod json;
 #[cfg(unix)]
 pub mod service;
@@ -45,7 +46,7 @@ use std::fmt;
 
 /// Usage string the binaries print when argument parsing fails.
 pub const USAGE: &str = "usage: [--scale tiny|small|medium|large] [--bypass|--victim|--stream] \
-[--threads N] [--subset bench,bench,...] [--mode exact|sampled] [--csv <path>] \
+[--threads N] [--subset bench,bench,...] [--mode exact|sampled] [--dynamic] [--csv <path>] \
 [--format text|json|csv] [--store <dir>]";
 
 /// Why the command line failed to parse.
@@ -148,6 +149,11 @@ pub struct Cli {
     /// Persistent result-store root (`--store` flag; [`Cli::from_env`]
     /// also honors the `SELCACHE_STORE` environment variable).
     pub store: Option<std::path::PathBuf>,
+    /// Attach the online assist controller (`--dynamic`): selective runs
+    /// then defer the per-region {off, bypass, victim} choice to the
+    /// run-time `selcache-adapt` hardware instead of the compiler's static
+    /// decision.
+    pub dynamic: bool,
 }
 
 impl Default for Cli {
@@ -161,6 +167,7 @@ impl Default for Cli {
             mode: SimMode::Exact,
             format: OutputFormat::Text,
             store: None,
+            dynamic: false,
         }
     }
 }
@@ -183,6 +190,7 @@ impl Cli {
                 "--victim" => out.assist = AssistKind::Victim,
                 "--bypass" => out.assist = AssistKind::Bypass,
                 "--stream" => out.assist = AssistKind::Stream,
+                "--dynamic" => out.dynamic = true,
                 "--threads" => {
                     let v = args.next().ok_or(CliError::MissingValue("--threads"))?;
                     out.threads = v.parse().map_err(|_| CliError::InvalidThreads(v))?;
@@ -371,8 +379,10 @@ mod tests {
             "json",
             "--store",
             "/tmp/selcache-store",
+            "--dynamic",
         ])
         .unwrap();
+        assert!(c.dynamic);
         assert_eq!(c.scale, Scale::Tiny);
         assert_eq!(c.mode, SimMode::sampled());
         assert_eq!(c.assist, AssistKind::Victim);

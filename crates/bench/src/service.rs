@@ -36,7 +36,11 @@
 //! `pure-software`, `combined`, or `selective`; `assist` is `none`,
 //! `bypass`, `victim`, or `stream`; an optional `"mode"` of `"sampled"`
 //! runs the job with SimPoint-style interval sampling (result lines then
-//! carry a `sampled` coverage object). A request-level `"profiled": true`
+//! carry a `sampled` coverage object). An optional `"policy"` of
+//! `"dynamic"` attaches the online `selcache-adapt` controller (default
+//! configuration) to the job; its result line then echoes the controller
+//! stats as `"policy":"dynamic"` plus the `policy_switches` count. A
+//! request-level `"profiled": true`
 //! runs the set with region attribution (result lines then carry a
 //! `regions` count). Each `"result"` line echoes the job's stable
 //! `job_id`; the `"done"` line carries the engine counters for the
@@ -57,7 +61,8 @@ use crate::engine_stats_json;
 use crate::json::Json;
 use crate::parse_benchmark;
 use selcache_core::{
-    AssistKind, ConfigVariant, EngineStats, JobEngine, Scale, SimJob, SimMode, SimResult, Version,
+    AssistKind, ConfigVariant, ControllerConfig, EngineStats, JobEngine, Scale, SimJob, SimMode,
+    SimResult, Version,
 };
 use std::io::{self, Read, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
@@ -362,6 +367,10 @@ fn result_json(index: usize, job: &SimJob, r: &SimResult) -> Json {
         ("l1d_miss_pct", Json::Num(r.l1_miss_pct())),
         ("l2_miss_pct", Json::Num(r.l2_miss_pct())),
     ];
+    if job.machine.mem.controller.is_some() {
+        pairs.push(("policy", Json::str("dynamic")));
+        pairs.push(("policy_switches", Json::UInt(r.mem.assist.adapt_switches)));
+    }
     if let Some(profile) = &r.regions {
         pairs.push(("regions", Json::UInt(profile.regions().len() as u64)));
     }
@@ -481,7 +490,15 @@ fn job_from_json(spec: &Json) -> Result<SimJob, String> {
         },
         None => SimMode::Exact,
     };
-    Ok(SimJob::new(benchmark, scale, machine, assist, version).with_mode(mode))
+    let job = SimJob::new(benchmark, scale, machine, assist, version).with_mode(mode);
+    match field("policy") {
+        Some(s) => match canon(s).as_str() {
+            "static" => Ok(job),
+            "dynamic" => Ok(job.with_controller(ControllerConfig::default())),
+            _ => Err(format!("unknown policy {s:?}; use static | dynamic")),
+        },
+        None => Ok(job),
+    }
 }
 
 /// Client side of the protocol: connect, send one request line, close the
@@ -532,6 +549,20 @@ mod tests {
         assert!(job_from_json(&bad).unwrap_err().contains("version"));
         let bad = Json::parse(r#"{"version":"base","benchmark":"whom"}"#).unwrap();
         assert!(job_from_json(&bad).unwrap_err().contains("whom"));
+    }
+
+    #[test]
+    fn job_policy_parses_and_rejects() {
+        let spec =
+            Json::parse(r#"{"benchmark":"li","version":"selective","policy":"dynamic"}"#).unwrap();
+        let job = job_from_json(&spec).unwrap();
+        assert!(job.machine.mem.controller.is_some(), "dynamic policy attaches the controller");
+        let spec =
+            Json::parse(r#"{"benchmark":"li","version":"selective","policy":"Static"}"#).unwrap();
+        assert!(job_from_json(&spec).unwrap().machine.mem.controller.is_none());
+        let bad =
+            Json::parse(r#"{"benchmark":"li","version":"selective","policy":"oracle"}"#).unwrap();
+        assert!(job_from_json(&bad).unwrap_err().contains("policy"));
     }
 
     #[test]

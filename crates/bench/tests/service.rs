@@ -243,6 +243,54 @@ fn store_maintenance_ops_error_without_a_store() {
 }
 
 #[test]
+fn dynamic_policy_requests_echo_controller_stats() {
+    let _guard = SERVER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    service::reset_shutdown();
+    let root = TempRoot::new("dyn");
+    let sock = root.0.join("dyn.sock");
+    let store = Store::open(root.0.join("store")).expect("open store");
+    let server = Server::bind(&sock, JobEngine::with_store(2, store)).expect("bind");
+    let server_thread = std::thread::spawn(move || server.run().expect("server run"));
+    await_server(&sock);
+
+    // The same selective job twice — once static, once under the adapt
+    // controller. They are distinct identities with distinct result lines.
+    const REQ: &str = r#"{"op":"run","jobs":[{"benchmark":"li","scale":"tiny","version":"selective"},{"benchmark":"li","scale":"tiny","version":"selective","policy":"dynamic"}]}"#;
+    let lines = request(&sock, REQ);
+    assert_eq!(lines.len(), 3, "2 results + done: {lines:?}");
+    let (st, dy) = (&lines[0], &lines[1]);
+    assert_eq!(kind(st), "result");
+    assert!(st.get("policy").is_none(), "static job carries no policy echo: {st}");
+    assert_eq!(dy.get("policy").and_then(Json::as_str), Some("dynamic"));
+    assert!(uint(dy, "policy_switches") > 0, "controller must act on Li: {dy}");
+    assert_ne!(
+        st.get("job_id").and_then(Json::as_str),
+        dy.get("job_id").and_then(Json::as_str),
+        "dynamic and static runs are distinct identities"
+    );
+    assert_eq!(uint(lines[2].get("engine").expect("engine"), "store_misses"), 2);
+
+    // A warm rerun answers both from the store, with identical stats.
+    let warm = request(&sock, REQ);
+    assert_eq!(warm[1].to_string(), dy.to_string(), "warm dynamic line is byte-identical");
+    let engine = warm[2].get("engine").expect("engine");
+    assert_eq!(uint(engine, "store_hits"), 2);
+    assert_eq!(uint(engine, "executed"), 0);
+
+    // An unknown policy is a request error, not a crash.
+    let bad = request(
+        &sock,
+        r#"{"op":"run","jobs":[{"benchmark":"li","version":"selective","policy":"oracle"}]}"#,
+    );
+    assert_eq!(kind(&bad[0]), "error");
+
+    let bye = request(&sock, r#"{"op":"shutdown"}"#);
+    assert_eq!(kind(&bye[0]), "bye");
+    server_thread.join().expect("server thread");
+    service::reset_shutdown();
+}
+
+#[test]
 fn profiled_requests_report_regions() {
     let _guard = SERVER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     service::reset_shutdown();

@@ -29,6 +29,14 @@ pub enum AssistPolicy {
     /// Enable everywhere (equivalent to the combined version, expressed as
     /// markers).
     Always,
+    /// Defer the per-region decision to a run-time controller (the
+    /// `selcache-adapt` adaptive hardware): every region's marker is ON so
+    /// the controller sees all of them, and the static hardware/software
+    /// classification is carried only as region labels. Marker-wise
+    /// identical to
+    /// [`AssistPolicy::Always`]; kept distinct because the *meaning* of ON
+    /// differs — "controller may act here", not "assist is on here".
+    Dynamic,
 }
 
 impl AssistPolicy {
@@ -38,7 +46,7 @@ impl AssistPolicy {
         let on = match self {
             AssistPolicy::IrregularRegions => preference == Preference::Hardware,
             AssistPolicy::RegularRegions => preference == Preference::Software,
-            AssistPolicy::Always => true,
+            AssistPolicy::Always | AssistPolicy::Dynamic => true,
         };
         if on {
             Marker::On
@@ -130,6 +138,16 @@ mod tests {
     }
 
     #[test]
+    fn dynamic_policy_marks_everything_on() {
+        // The controller wants to see every region: marker-wise this is
+        // `Always`, and the region structure itself is untouched.
+        let p = mixed();
+        let m = insert_markers_for(&p, 0.5, AssistPolicy::Dynamic);
+        assert_eq!(m, insert_markers_for(&p, 0.5, AssistPolicy::Always));
+        assert_eq!(dynamic_markers(&m), vec![OpKind::AssistOn]);
+    }
+
+    #[test]
     fn policies_preserve_work() {
         let p = mixed();
         let loads =
@@ -151,5 +169,7 @@ mod tests {
         assert_eq!(RegularRegions.marker_for(Preference::Hardware), Marker::Off);
         assert_eq!(RegularRegions.marker_for(Preference::Software), Marker::On);
         assert_eq!(Always.marker_for(Preference::Software), Marker::On);
+        assert_eq!(Dynamic.marker_for(Preference::Hardware), Marker::On);
+        assert_eq!(Dynamic.marker_for(Preference::Software), Marker::On);
     }
 }

@@ -66,7 +66,9 @@ pub use interchange::interchange_nest;
 pub use layout::select_layouts;
 pub use nest::{NestLevel, PerfectNest};
 pub use padding::{pad_arrays, PaddingConfig};
-pub use passes::{apply_to_software_loops, insert_markers, optimize, selective, OptConfig};
+pub use passes::{
+    apply_to_software_loops, insert_markers, optimize, selective, selective_for, OptConfig,
+};
 pub use redundant::eliminate_redundant_markers;
 pub use region::{
     analyze_loop, detect_and_mark, detect_and_mark_with, region_partition, region_partition_with,

@@ -188,6 +188,16 @@ pub fn selective(program: &Program, cfg: &OptConfig) -> Program {
     insert_markers(&optimize(program, cfg), cfg.threshold)
 }
 
+/// [`selective`] under an explicit [`crate::AssistPolicy`]:
+/// software-optimized code with the per-region markers chosen by `policy`
+/// instead of the paper's irregular-regions rule. With
+/// [`crate::AssistPolicy::Dynamic`] this is the preparation the runtime
+/// controller executes — every region marked ON, decisions deferred to
+/// hardware.
+pub fn selective_for(program: &Program, cfg: &OptConfig, policy: crate::AssistPolicy) -> Program {
+    crate::insert_markers_for(&optimize(program, cfg), cfg.threshold, policy)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -42,9 +42,9 @@ use crate::identity::{Canon, CanonWriter, JobId};
 use crate::runner::{default_opt, simulate, simulate_profiled, SimResult, Version};
 use crate::sampled::{simulate_sampled, SimMode};
 use crate::store::Store;
-use selcache_compiler::{optimize, region_partition, selective, OptConfig};
+use selcache_compiler::{optimize, region_partition, selective, selective_for, OptConfig};
 use selcache_ir::Program;
-use selcache_mem::AssistKind;
+use selcache_mem::{AssistKind, ControllerConfig};
 use selcache_workloads::{Benchmark, Scale};
 use std::collections::HashMap;
 use std::num::NonZeroUsize;
@@ -105,6 +105,18 @@ impl SimJob {
         self
     }
 
+    /// Attaches the online assist controller to the job's machine. A
+    /// [`Version::Selective`] job then prepares its program with
+    /// [`selcache_compiler::AssistPolicy::Dynamic`] (every region marked
+    /// ON) and the hardware picks {off, bypass, victim} per region at run
+    /// time; the `assist` field still selects any additional static
+    /// stream assist. Part of the execution identity — dynamic and static
+    /// runs of the same job hash to distinct ids.
+    pub fn with_controller(mut self, ctl: ControllerConfig) -> SimJob {
+        self.machine.mem.controller = Some(ctl);
+        self
+    }
+
     /// The job's stable 128-bit execution-identity hash: the engine's
     /// dedup key, the [`Store`] address, and the `job_id` echoed in
     /// results and reports. Two jobs share an id exactly when
@@ -130,6 +142,10 @@ enum PrepKind {
     Optimized,
     /// Locality-optimized plus ON/OFF markers (`Selective`).
     Selective,
+    /// Locality-optimized with every region marked ON for the run-time
+    /// controller (`Selective` on a machine with a
+    /// [`ControllerConfig`] attached).
+    Dynamic,
 }
 
 impl Version {
@@ -172,7 +188,10 @@ struct ProgramKey {
 
 impl ProgramKey {
     fn of(job: &SimJob) -> ProgramKey {
-        let prep = job.version.prep_kind();
+        let mut prep = job.version.prep_kind();
+        if prep == PrepKind::Selective && job.machine.mem.controller.is_some() {
+            prep = PrepKind::Dynamic;
+        }
         ProgramKey {
             benchmark: job.benchmark,
             scale: job.scale,
@@ -190,6 +209,9 @@ impl ProgramKey {
             (PrepKind::Raw, _) => base,
             (PrepKind::Optimized, Some(opt)) => optimize(&base, opt),
             (PrepKind::Selective, Some(opt)) => selective(&base, opt),
+            (PrepKind::Dynamic, Some(opt)) => {
+                selective_for(&base, opt, selcache_compiler::AssistPolicy::Dynamic)
+            }
             _ => unreachable!("compiler-prepared key without an opt config"),
         }
     }
@@ -232,6 +254,7 @@ impl ExecKey {
             PrepKind::Raw => 0,
             PrepKind::Optimized => 1,
             PrepKind::Selective => 2,
+            PrepKind::Dynamic => 3,
         });
         w.opt(&self.program.opt);
         // MachineConfig: cpu, mem, and the name (its `PartialEq` compares
@@ -266,10 +289,14 @@ pub(crate) fn selection_key(
     scale: Scale,
     version: Version,
     opt: &OptConfig,
+    dynamic: bool,
     interval_ops: u64,
     max_intervals: usize,
 ) -> u128 {
-    let prep = version.prep_kind();
+    let mut prep = version.prep_kind();
+    if dynamic && prep == PrepKind::Selective {
+        prep = PrepKind::Dynamic;
+    }
     let program = ProgramKey {
         benchmark,
         scale,
@@ -293,6 +320,7 @@ fn selection_key_of(program: &ProgramKey, interval_ops: u64, max_intervals: usiz
         PrepKind::Raw => 0,
         PrepKind::Optimized => 1,
         PrepKind::Selective => 2,
+        PrepKind::Dynamic => 3,
     });
     w.opt(&program.opt);
     w.u64(interval_ops);
@@ -544,7 +572,13 @@ impl JobEngine {
                         Some(skey),
                     )
                 }
-                SimMode::Exact if profiled => {
+                // Dynamic (controller-attached) jobs always run with the
+                // region partition attached, profiled or not: the
+                // controller's per-region decisions need region identities,
+                // so a dynamic run without regions would be a *different*
+                // simulation. Non-profiled callers get the regions stripped
+                // after the store write below.
+                SimMode::Exact if profiled || key.machine.mem.controller.is_some() => {
                     let threshold = key
                         .program
                         .opt
@@ -565,11 +599,18 @@ impl JobEngine {
         let executed = needed.len();
         let mut bytes_written = 0u64;
         let mut per_unique = cached;
-        for (&k, (result, wall_ms)) in needed.iter().zip(simulated) {
+        for (&k, (mut result, wall_ms)) in needed.iter().zip(simulated) {
             if let Some(store) = &self.store {
                 if let Ok(bytes) = store.put(ids[k], &identities[k], &result, wall_ms) {
                     bytes_written += bytes;
                 }
+            }
+            // Dynamic jobs simulate with regions attached even on plain
+            // runs; persist the profile (so a later profiled run hits the
+            // store) but return the result region-less, keeping plain-run
+            // output byte-identical between cold and warm stores.
+            if !profiled {
+                result.regions = None;
             }
             per_unique[k] = Some(result);
         }
@@ -766,6 +807,47 @@ mod tests {
         let parallel = JobEngine::new(4).run(&jobs);
         assert_eq!(serial, parallel, "sampled results must be bit-identical across threads");
         assert!(serial.iter().all(|r| r.sampled.is_some()));
+    }
+
+    #[test]
+    fn controller_splits_the_identity() {
+        let base = SimJob::new(
+            Benchmark::Adi,
+            Scale::Tiny,
+            MachineConfig::base(),
+            AssistKind::None,
+            Version::Selective,
+        );
+        let dynamic = base.clone().with_controller(ControllerConfig::default());
+        assert_ne!(base.job_id(), dynamic.job_id(), "controller must split the identity");
+        assert!(!base.same_execution(&dynamic));
+        // Different controller parameters are different identities too.
+        let tuned = ControllerConfig { interval_accesses: 128, ..ControllerConfig::default() };
+        assert_ne!(dynamic.job_id(), base.with_controller(tuned).job_id());
+    }
+
+    #[test]
+    fn dynamic_jobs_are_thread_invariant_and_region_less_when_plain() {
+        let machine = MachineConfig::base();
+        let ctl = ControllerConfig { interval_accesses: 128, ..ControllerConfig::default() };
+        let jobs: Vec<SimJob> = [Benchmark::Adi, Benchmark::Li]
+            .into_iter()
+            .map(|b| {
+                SimJob::new(b, Scale::Tiny, machine.clone(), AssistKind::None, Version::Selective)
+                    .with_controller(ctl)
+            })
+            .collect();
+        let serial = JobEngine::serial().run(&jobs);
+        let parallel = JobEngine::new(4).run(&jobs);
+        assert_eq!(serial, parallel, "dynamic results must be bit-identical across threads");
+        assert!(serial.iter().all(|r| r.regions.is_none()), "plain runs stay region-less");
+        // Profiled runs of the same jobs attach the per-region profile
+        // without perturbing the aggregate counters.
+        let profiled = JobEngine::new(2).run_profiled(&jobs);
+        for (p, q) in serial.iter().zip(&profiled) {
+            assert_eq!(p.cycles, q.cycles, "profiling must not perturb dynamic results");
+            assert!(q.regions.is_some());
+        }
     }
 
     #[test]

@@ -23,7 +23,8 @@
 use selcache_compiler::OptConfig;
 use selcache_cpu::{CpuConfig, CpuModel, PredictorKind};
 use selcache_mem::{
-    AssistKind, BypassConfig, CacheConfig, HierarchyConfig, Replacement, StreamConfig, TlbConfig,
+    AssistKind, BypassConfig, CacheConfig, ControllerConfig, HierarchyConfig, Replacement,
+    StreamConfig, TlbConfig,
 };
 use selcache_workloads::{Benchmark, Scale};
 use std::fmt;
@@ -32,7 +33,7 @@ use std::str::FromStr;
 /// Schema tag leading every canonical identity encoding. Bump the suffix
 /// whenever the encoding changes shape — stored results keyed by the old
 /// encoding then become clean misses instead of silent aliases.
-pub const IDENTITY_SCHEMA: &str = "selcache-exec/2";
+pub const IDENTITY_SCHEMA: &str = "selcache-exec/3";
 
 /// A stable 128-bit content hash of one execution identity.
 ///
@@ -365,6 +366,19 @@ impl Canon for StreamConfig {
     }
 }
 
+impl Canon for ControllerConfig {
+    fn canon(&self, w: &mut CanonWriter) {
+        w.u32(self.interval_accesses);
+        w.u32(self.trial_intervals);
+        w.u32(self.hysteresis_pct);
+        w.u32(self.hysteresis_intervals);
+        w.usize(self.max_regions);
+        w.bool(self.way_partition);
+        w.u32(self.min_ways);
+        w.u32(self.duel_accesses);
+    }
+}
+
 impl Canon for HierarchyConfig {
     fn canon(&self, w: &mut CanonWriter) {
         self.l1d.canon(w);
@@ -386,6 +400,7 @@ impl Canon for HierarchyConfig {
         w.usize(self.l2_victim_entries);
         self.stream.canon(w);
         w.bool(self.classify_misses);
+        w.opt(&self.controller);
     }
 }
 

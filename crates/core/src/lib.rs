@@ -86,5 +86,5 @@ pub use sweep::{
 };
 
 // Re-export the pieces callers need to parameterize experiments.
-pub use selcache_mem::AssistKind;
+pub use selcache_mem::{AssistChoice, AssistKind, ControllerConfig};
 pub use selcache_workloads::{Benchmark, Category, Scale};

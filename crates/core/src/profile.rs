@@ -15,7 +15,7 @@
 //! [`SimResult`](crate::SimResult) counters.
 
 use selcache_ir::{RegionId, RegionMap};
-use selcache_mem::{AssistEvent, CacheLevel, Lookup, Probe, Site};
+use selcache_mem::{AssistChoice, AssistEvent, CacheLevel, Lookup, Probe, Site};
 use std::fmt::Write as _;
 
 /// Counters attributed to one uniform region.
@@ -46,6 +46,12 @@ pub struct RegionStats {
     pub assist_hits: u64,
     /// Assist ON/OFF instructions committed from this region.
     pub toggles: u64,
+    /// Adaptive-controller policy switches applied in this region (0 for
+    /// static runs).
+    pub policy_switches: u64,
+    /// The controller's last decision for this region (`"off"`,
+    /// `"bypass"`, or `"victim"`; `"static"` when no controller ran).
+    pub final_policy: String,
 }
 
 impl RegionStats {
@@ -80,6 +86,7 @@ impl RegionStats {
         self.assisted_accesses += other.assisted_accesses;
         self.assist_hits += other.assist_hits;
         self.toggles += other.toggles;
+        self.policy_switches += other.policy_switches;
     }
 }
 
@@ -174,12 +181,13 @@ impl RegionProfileProbe {
     /// A probe with one empty bucket per region of `map`, plus the
     /// *(outside)* bucket.
     pub fn new(map: &RegionMap) -> RegionProfileProbe {
-        let mut regions: Vec<RegionStats> = map
-            .labels()
-            .iter()
-            .map(|l| RegionStats { label: l.clone(), ..RegionStats::default() })
-            .collect();
-        regions.push(RegionStats { label: "(outside)".into(), ..RegionStats::default() });
+        let fresh = |label: &str| RegionStats {
+            label: label.into(),
+            final_policy: "static".into(),
+            ..RegionStats::default()
+        };
+        let mut regions: Vec<RegionStats> = map.labels().iter().map(|l| fresh(l)).collect();
+        regions.push(fresh("(outside)"));
         RegionProfileProbe { regions }
     }
 
@@ -251,6 +259,12 @@ impl Probe for RegionProfileProbe {
     fn assist_toggle(&mut self, site: Site, _on: bool) {
         self.bucket(site.region).toggles += 1;
     }
+
+    fn adapt_decision(&mut self, site: Site, choice: AssistChoice, switched: bool) {
+        let b = self.bucket(site.region);
+        b.policy_switches += u64::from(switched);
+        b.final_policy = choice.name().into();
+    }
 }
 
 #[cfg(test)]
@@ -287,6 +301,22 @@ mod tests {
         assert_eq!((b.l2_accesses, b.l2_misses, b.assisted_accesses, b.assist_hits), (1, 0, 1, 1));
         assert_eq!(outside.toggles, 1);
         assert_eq!(prof.total().committed, 1);
+    }
+
+    #[test]
+    fn controller_decisions_attribute_per_region() {
+        let map = two_region_map();
+        let mut p = RegionProfileProbe::new(&map);
+        let alpha = Site::new(0, RegionId(0));
+        p.adapt_decision(alpha, AssistChoice::Bypass, true);
+        p.adapt_decision(alpha, AssistChoice::Victim, true);
+        p.adapt_decision(alpha, AssistChoice::Victim, false);
+        let prof = p.finish();
+        let a = &prof.regions()[0];
+        assert_eq!(a.policy_switches, 2, "only actual switches count");
+        assert_eq!(a.final_policy, "victim");
+        assert_eq!(prof.regions()[1].final_policy, "static", "untouched regions stay static");
+        assert_eq!(prof.total().policy_switches, 2);
     }
 
     #[test]

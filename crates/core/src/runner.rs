@@ -6,10 +6,10 @@ use crate::config::MachineConfig;
 use crate::engine::{selection_key, JobEngine};
 use crate::profile::{RegionProfile, RegionProfileProbe};
 use crate::sampled::{simulate_sampled, SampledInfo, SimMode};
-use selcache_compiler::{optimize, region_partition, selective, OptConfig};
+use selcache_compiler::{optimize, region_partition, selective, selective_for, OptConfig};
 use selcache_cpu::{CpuStats, Pipeline};
 use selcache_ir::{Interp, Program, RegionMap};
-use selcache_mem::{AssistKind, HierarchyStats, MemoryHierarchy};
+use selcache_mem::{AssistKind, ControllerConfig, HierarchyStats, MemoryHierarchy};
 use selcache_workloads::{Benchmark, Scale};
 use std::fmt;
 
@@ -184,6 +184,7 @@ pub struct ExperimentBuilder {
     opt: Option<OptConfig>,
     threads: usize,
     mode: SimMode,
+    controller: Option<ControllerConfig>,
 }
 
 impl ExperimentBuilder {
@@ -227,9 +228,22 @@ impl ExperimentBuilder {
         self
     }
 
+    /// Attaches the online assist controller to the machine under test
+    /// (default: none — fully static assist selection). With a controller,
+    /// [`Version::Selective`] prepares its code with every region marked
+    /// ON and the hardware picks {off, bypass, victim} per region at run
+    /// time.
+    pub fn controller(mut self, ctl: ControllerConfig) -> Self {
+        self.controller = Some(ctl);
+        self
+    }
+
     /// Builds the experiment.
     pub fn build(self) -> Experiment {
-        let machine = self.machine.unwrap_or_else(MachineConfig::base);
+        let mut machine = self.machine.unwrap_or_else(MachineConfig::base);
+        if let Some(ctl) = self.controller {
+            machine.mem.controller = Some(ctl);
+        }
         let opt = self.opt.unwrap_or_else(|| default_opt(&machine));
         Experiment { machine, assist: self.assist, opt, threads: self.threads, mode: self.mode }
     }
@@ -307,6 +321,11 @@ impl Experiment {
         match version {
             Version::Base | Version::PureHardware => program.clone(),
             Version::PureSoftware | Version::Combined => optimize(program, &self.opt),
+            // Under a controller every region is marked ON (the hardware
+            // decides); statically, the paper's irregular-regions rule.
+            Version::Selective if self.machine.mem.controller.is_some() => {
+                selective_for(program, &self.opt, selcache_compiler::AssistPolicy::Dynamic)
+            }
             Version::Selective => selective(program, &self.opt),
         }
     }
@@ -330,6 +349,7 @@ impl Experiment {
                 scale,
                 version,
                 &self.opt,
+                self.machine.mem.controller.is_some(),
                 interval_ops,
                 max_intervals,
             )),
@@ -341,6 +361,16 @@ impl Experiment {
         let assist = version.effective_assist(self.assist);
         let enabled = version.initially_enabled();
         match self.mode {
+            // Controller-attached exact runs always simulate with the
+            // region partition: the controller's per-region decisions need
+            // region identities. The profile itself is dropped — plain runs
+            // stay region-less, exactly like the engine's plain path.
+            SimMode::Exact if self.machine.mem.controller.is_some() => {
+                let map = region_partition(program, self.opt.threshold);
+                let mut r = simulate_profiled(&self.machine, assist, enabled, program, &map);
+                r.regions = None;
+                r
+            }
             SimMode::Exact => simulate(&self.machine, assist, enabled, program),
             SimMode::Sampled { interval_ops, max_intervals, warmup } => simulate_sampled(
                 &self.machine,
@@ -461,6 +491,21 @@ mod tests {
         assert_eq!(total.committed, prof.instructions);
         assert_eq!(total.l1d_accesses, prof.mem.l1d.accesses);
         assert_eq!(total.l1d_misses, prof.mem.l1d.misses);
+    }
+
+    #[test]
+    fn dynamic_experiment_runs_and_profiles_consistently() {
+        let e = ExperimentBuilder::new()
+            .controller(ControllerConfig { interval_accesses: 128, ..ControllerConfig::default() })
+            .threads(1)
+            .build();
+        assert!(e.machine().mem.controller.is_some());
+        let plain = e.run(Benchmark::Li, Scale::Tiny, Version::Selective);
+        assert!(plain.regions.is_none(), "plain dynamic runs stay region-less");
+        let prof = e.run_profiled(Benchmark::Li, Scale::Tiny, Version::Selective);
+        assert_eq!(plain.cycles, prof.cycles, "profiling must not perturb dynamic runs");
+        assert_eq!(plain.mem, prof.mem);
+        assert!(prof.regions.is_some());
     }
 
     #[test]

@@ -389,6 +389,7 @@ fn mem_to_json(m: &HierarchyStats) -> Json {
                 ("l2_victim_hits", Json::UInt(m.assist.l2_victim_hits)),
                 ("stream_hits", Json::UInt(m.assist.stream_hits)),
                 ("assisted_accesses", Json::UInt(m.assist.assisted_accesses)),
+                ("adapt_switches", Json::UInt(m.assist.adapt_switches)),
             ]),
         ),
     ])
@@ -412,6 +413,7 @@ fn mem_from_json(j: &Json) -> Option<HierarchyStats> {
             l2_victim_hits: f("l2_victim_hits")?,
             stream_hits: f("stream_hits")?,
             assisted_accesses: f("assisted_accesses")?,
+            adapt_switches: f("adapt_switches")?,
         },
     })
 }
@@ -430,6 +432,8 @@ fn region_to_json(r: &RegionStats) -> Json {
         ("assisted_accesses", Json::UInt(r.assisted_accesses)),
         ("assist_hits", Json::UInt(r.assist_hits)),
         ("toggles", Json::UInt(r.toggles)),
+        ("policy_switches", Json::UInt(r.policy_switches)),
+        ("final_policy", Json::str(r.final_policy.clone())),
     ])
 }
 
@@ -448,5 +452,7 @@ fn region_from_json(j: &Json) -> Option<RegionStats> {
         assisted_accesses: f("assisted_accesses")?,
         assist_hits: f("assist_hits")?,
         toggles: f("toggles")?,
+        policy_switches: f("policy_switches")?,
+        final_policy: j.get("final_policy")?.as_str()?.to_string(),
     })
 }

@@ -3,7 +3,8 @@
 //! engine behavior (zero simulations, byte-identical results), and gc.
 
 use selcache_core::{
-    AssistKind, Benchmark, JobEngine, MachineConfig, Scale, SimJob, SimMode, Store, Version,
+    AssistKind, Benchmark, ControllerConfig, JobEngine, MachineConfig, Scale, SimJob, SimMode,
+    Store, Version,
 };
 use std::fs;
 use std::path::PathBuf;
@@ -199,6 +200,108 @@ fn sampled_results_roundtrip_through_the_store() {
     let (profiled, profiled_stats) = warm_engine.run_profiled_with_stats(&jobs);
     assert_eq!(profiled_stats.executed, 0, "sampled entries satisfy profiled runs too");
     assert!(profiled[0].regions.is_none(), "sampled results never carry regions");
+}
+
+/// Removes one `,"key":<uint>` field from a JSON entry, emulating an
+/// envelope written before that counter existed.
+fn strip_uint_field(text: &str, key: &str) -> String {
+    let pat = format!(",\"{key}\":");
+    let start = text.find(&pat).unwrap_or_else(|| panic!("entry should contain {key}"));
+    let val = start + pat.len();
+    let end = val
+        + text[val..]
+            .find(|c: char| !c.is_ascii_digit())
+            .expect("digits end before the entry does");
+    format!("{}{}", &text[..start], &text[end..])
+}
+
+fn entry_files(root: &PathBuf) -> Vec<PathBuf> {
+    let mut entries: Vec<PathBuf> = Vec::new();
+    for shard in fs::read_dir(root).unwrap() {
+        let shard = shard.unwrap().path();
+        if shard.is_dir() {
+            for e in fs::read_dir(&shard).unwrap() {
+                entries.push(e.unwrap().path());
+            }
+        }
+    }
+    entries.sort();
+    entries
+}
+
+#[test]
+fn pre_upgrade_envelopes_read_as_misses_not_errors() {
+    // Schema evolution tolerance: entries written before the adaptive
+    // controller added `adapt_switches` (and the per-region policy fields)
+    // must degrade to clean misses that the engine re-simulates and heals —
+    // never to parse errors or wrong answers.
+    let root = TempRoot::new("preupgrade");
+    let jobs = suite_jobs();
+    let engine = JobEngine::with_store(1, Store::open(&root.0).unwrap());
+    let (cold, cold_stats) = engine.run_with_stats(&jobs);
+
+    // Rewrite every entry without the controller counter, mimicking the
+    // pre-upgrade result schema.
+    for path in entry_files(&root.0) {
+        let text = fs::read_to_string(&path).unwrap();
+        fs::write(&path, strip_uint_field(&text, "adapt_switches")).unwrap();
+    }
+
+    let (healed, healed_stats) = engine.run_with_stats(&jobs);
+    assert_eq!(healed_stats.store_hits, 0, "old envelopes must all read as misses");
+    assert_eq!(healed_stats.executed, cold_stats.executed, "every job re-simulates");
+    assert_eq!(healed, cold, "healing must reproduce the results exactly");
+
+    // Same for profiled entries missing the per-region policy fields.
+    let profiled_jobs = &jobs[..1];
+    let profiled_cold = engine.run_profiled(profiled_jobs);
+    let path = {
+        let id = profiled_jobs[0].job_id().to_string();
+        entry_files(&root.0).into_iter().find(|p| p.to_string_lossy().contains(&id)).unwrap()
+    };
+    let text = fs::read_to_string(&path).unwrap();
+    assert!(text.contains("final_policy"), "profiled entries carry the policy fields");
+    fs::write(&path, strip_uint_field(&text, "policy_switches")).unwrap();
+    let (profiled_healed, stats) = engine.run_profiled_with_stats(profiled_jobs);
+    assert_eq!(stats.executed, 1, "region-field-less entry is a miss, not an error");
+    assert_eq!(profiled_healed, profiled_cold);
+}
+
+#[test]
+fn dynamic_results_roundtrip_and_dedup_through_the_store() {
+    let root = TempRoot::new("dynamic");
+    let ctl = ControllerConfig { interval_accesses: 128, ..ControllerConfig::default() };
+    let jobs = vec![SimJob::new(
+        Benchmark::Li,
+        Scale::Tiny,
+        MachineConfig::base(),
+        AssistKind::None,
+        Version::Selective,
+    )
+    .with_controller(ctl)];
+
+    let engine = JobEngine::with_store(1, Store::open(&root.0).unwrap());
+    let (cold, cold_stats) = engine.run_with_stats(&jobs);
+    assert_eq!(cold_stats.executed, 1);
+    assert!(cold[0].regions.is_none(), "plain dynamic results stay region-less");
+
+    // A fresh engine (different thread count) answers from disk,
+    // byte-identical.
+    let warm_engine = JobEngine::with_store(4, Store::open(&root.0).unwrap());
+    let (warm, warm_stats) = warm_engine.run_with_stats(&jobs);
+    assert_eq!(warm_stats.executed, 0, "dynamic entries must be store hits");
+    assert_eq!(cold, warm);
+
+    // A profiled rerun is also a pure hit: dynamic runs always simulate
+    // with regions attached, and the store keeps the profile even when the
+    // producing run returned it region-less.
+    let (profiled, profiled_stats) = warm_engine.run_profiled_with_stats(&jobs);
+    assert_eq!(profiled_stats.executed, 0, "the plain dynamic entry satisfies profiled runs");
+    let prof = profiled[0].regions.as_ref().expect("dynamic entries carry regions");
+    assert!(
+        prof.regions().iter().any(|r| r.final_policy != "static"),
+        "the controller's per-region decisions must round-trip"
+    );
 }
 
 #[test]

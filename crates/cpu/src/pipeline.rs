@@ -470,7 +470,7 @@ impl Pipeline {
 mod tests {
     use super::*;
     use selcache_ir::Addr;
-    use selcache_mem::{AssistKind, HierarchyConfig};
+    use selcache_mem::{AssistKind, ControllerConfig, HierarchyConfig};
 
     fn mem() -> MemoryHierarchy {
         MemoryHierarchy::new(HierarchyConfig::paper_base(AssistKind::None))
@@ -571,6 +571,41 @@ mod tests {
         let ops = vec![TraceOp::new(0x40_0000, OpKind::AssistOn)];
         Pipeline::new(CpuConfig::paper_base()).run(ops, &mut m);
         assert!(m.assist_enabled());
+    }
+
+    #[test]
+    fn assist_markers_freeze_and_thaw_the_controller() {
+        // Under the adaptive controller the same ON/OFF markers gate the
+        // whole mechanism: an OFF window freezes the controller (no
+        // decisions, no switches), ON thaws it again.
+        let mut cfg = HierarchyConfig::paper_base(AssistKind::None);
+        cfg.controller =
+            Some(ControllerConfig { interval_accesses: 8, ..ControllerConfig::default() });
+        let mut m = MemoryHierarchy::new(cfg);
+        // Conflict traffic (5 blocks cycling one 4-way set) drives the
+        // controller through its exploration trials.
+        let load =
+            |i: u64| TraceOp::new(0x40_0000, OpKind::Load(Addr(0x1000_0000 + (i % 5) * 8192)));
+        let mut ops = vec![TraceOp::new(0x40_0000, OpKind::AssistOn)];
+        ops.extend((0..64).map(load));
+        ops.push(TraceOp::new(0x40_0000, OpKind::AssistOff));
+        Pipeline::new(CpuConfig::paper_base()).run(ops, &mut m);
+        assert!(!m.assist_enabled());
+        let switches = m.stats().assist.adapt_switches;
+        assert!(switches > 0, "the ON window must drive controller decisions");
+        // OFF window: further traffic changes nothing.
+        let ops: Vec<TraceOp> = (0..64).map(load).collect();
+        Pipeline::new(CpuConfig::paper_base()).run(ops, &mut m);
+        assert_eq!(m.stats().assist.adapt_switches, switches, "frozen while OFF");
+        // ON again with streaming traffic the locked-in winner cannot help:
+        // the hysteresis trips and the controller re-explores — decisions
+        // resume.
+        let mut ops = vec![TraceOp::new(0x40_0000, OpKind::AssistOn)];
+        ops.extend(
+            (0..64u64).map(|i| TraceOp::new(0x40_0000, OpKind::Load(Addr(0x3000_0000 + i * 64)))),
+        );
+        Pipeline::new(CpuConfig::paper_base()).run(ops, &mut m);
+        assert!(m.stats().assist.adapt_switches > switches, "thawed by ON");
     }
 
     #[test]

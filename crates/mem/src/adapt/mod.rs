@@ -1,0 +1,34 @@
+//! Online per-region assist controller (`selcache-adapt`).
+//!
+//! The paper decides assist regions *statically*: the compiler marks each
+//! uniform region ON or OFF and the choice never changes at run time. This
+//! module is the runtime-adaptive alternative — a hardware controller
+//! that, per [`RegionId`](selcache_ir::RegionId), chooses among
+//! {off, bypass, victim} from interval-granular miss feedback, plus an
+//! `evolveNaive`-style way duel that partitions the L1 between regular
+//! and irregular regions.
+//!
+//! Two cooperating pieces:
+//!
+//! - [`AdaptController`] — one explore/exploit state machine per region.
+//!   *Explore* trials each [`AssistChoice`] for a fixed number of
+//!   intervals and locks in the one with the fewest misses; *exploit*
+//!   watches the locked-in choice against its own trial baseline and
+//!   re-explores after a configurable number of consecutive bad
+//!   intervals (hysteresis, so one noisy interval cannot thrash the
+//!   policy).
+//! - [`WayDuel`] — a set-dueling-style counter pair that shifts one L1
+//!   way per duel interval toward whichever side (assist-on "irregular"
+//!   regions vs. assist-off "regular" regions) missed more, never
+//!   shrinking a side below `min_ways`.
+//!
+//! Everything here is deterministic: no wall clock, no randomness, and
+//! ties break toward the lower-numbered choice — so adaptive runs are
+//! bit-reproducible and thread-count-invariant like every other result
+//! in the workspace.
+
+mod controller;
+mod partition;
+
+pub use controller::{AdaptController, AssistChoice, ControllerConfig, Decision};
+pub use partition::WayDuel;

@@ -1,0 +1,156 @@
+//! Adaptive L1 way-partitioning between regular and irregular regions.
+
+/// An `evolveNaive`-style way duel: the L1's ways are split into a
+/// *regular* share (regions currently running assist-off) and an
+/// *irregular* share (regions under an active assist). Each duel interval
+/// the side that missed more takes one way from the other — provided the
+/// loser keeps at least `min_ways` — so a phase shift in either class of
+/// traffic re-balances the cache within a few intervals.
+///
+/// ```
+/// use selcache_mem::WayDuel;
+///
+/// let mut duel = WayDuel::new(4, 1, 4);
+/// assert_eq!(duel.side_quota(true), 2); // starts at an even split
+/// for _ in 0..4 {
+///     duel.record(true, true); // the irregular side misses hard
+/// }
+/// assert_eq!(duel.side_quota(true), 3); // and gains a way
+/// assert_eq!(duel.side_quota(false), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WayDuel {
+    assoc: u32,
+    min_ways: u32,
+    duel_accesses: u32,
+    irregular_ways: u32,
+    accesses: u32,
+    regular_misses: u64,
+    irregular_misses: u64,
+    adjustments: u64,
+}
+
+impl WayDuel {
+    /// A duel over a cache of `assoc` ways, starting at an even split
+    /// (clamped so both sides respect `min_ways`). A cache too narrow to
+    /// split (`assoc < 2 * min_ways`) gets a frozen all-irregular split —
+    /// consumers treat a zero or full quota as "unpartitioned".
+    pub fn new(assoc: u32, min_ways: u32, duel_accesses: u32) -> WayDuel {
+        let assoc = assoc.max(1);
+        let min_ways = min_ways.clamp(1, (assoc / 2).max(1));
+        let irregular_ways = if assoc >= 2 * min_ways { assoc / 2 } else { assoc };
+        WayDuel {
+            assoc,
+            min_ways,
+            duel_accesses: duel_accesses.max(1),
+            irregular_ways,
+            accesses: 0,
+            regular_misses: 0,
+            irregular_misses: 0,
+            adjustments: 0,
+        }
+    }
+
+    /// The current way quota of one side.
+    pub fn side_quota(&self, irregular: bool) -> u32 {
+        if irregular {
+            self.irregular_ways
+        } else {
+            self.assoc - self.irregular_ways
+        }
+    }
+
+    /// Way re-assignments applied so far.
+    pub fn adjustments(&self) -> u64 {
+        self.adjustments
+    }
+
+    /// Records one L1d access attributed to a side and its miss outcome.
+    /// At each duel-interval boundary the losing side cedes one way;
+    /// returns the new irregular quota when it changed.
+    pub fn record(&mut self, irregular: bool, missed: bool) -> Option<u32> {
+        if irregular {
+            self.irregular_misses += u64::from(missed);
+        } else {
+            self.regular_misses += u64::from(missed);
+        }
+        self.accesses += 1;
+        if self.accesses < self.duel_accesses {
+            return None;
+        }
+        self.accesses = 0;
+        let (irr, reg) = (self.irregular_misses, self.regular_misses);
+        self.irregular_misses = 0;
+        self.regular_misses = 0;
+        let before = self.irregular_ways;
+        if irr > reg && self.assoc - self.irregular_ways > self.min_ways {
+            self.irregular_ways += 1;
+        } else if reg > irr && self.irregular_ways > self.min_ways {
+            self.irregular_ways -= 1;
+        }
+        if self.irregular_ways != before {
+            self.adjustments += 1;
+            Some(self.irregular_ways)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_interval(duel: &mut WayDuel, irr_misses: u32, reg_misses: u32) -> Option<u32> {
+        let n = duel.duel_accesses;
+        let mut last = None;
+        for i in 0..n {
+            // Interleave the two sides; misses front-loaded per side.
+            let (irregular, missed) =
+                if i % 2 == 0 { (true, i / 2 < irr_misses) } else { (false, i / 2 < reg_misses) };
+            if let Some(q) = duel.record(irregular, missed) {
+                last = Some(q);
+            }
+        }
+        last
+    }
+
+    #[test]
+    fn loser_cedes_one_way_per_interval_until_the_floor() {
+        let mut duel = WayDuel::new(4, 1, 8);
+        assert_eq!(duel.side_quota(true), 2);
+        assert_eq!(run_interval(&mut duel, 4, 0), Some(3));
+        assert_eq!(run_interval(&mut duel, 4, 0), None, "regular side is at min_ways");
+        assert_eq!(duel.side_quota(true), 3);
+        assert_eq!(duel.side_quota(false), 1);
+        assert_eq!(duel.adjustments(), 1);
+    }
+
+    #[test]
+    fn balanced_misses_leave_the_split_alone() {
+        let mut duel = WayDuel::new(8, 1, 8);
+        assert_eq!(run_interval(&mut duel, 2, 2), None);
+        assert_eq!(duel.side_quota(true), 4);
+    }
+
+    #[test]
+    fn swings_track_phase_shifts() {
+        let mut duel = WayDuel::new(8, 2, 8);
+        run_interval(&mut duel, 0, 4);
+        run_interval(&mut duel, 0, 4);
+        assert_eq!(duel.side_quota(true), 2, "regular pressure shrinks the irregular share");
+        run_interval(&mut duel, 0, 4);
+        assert_eq!(duel.side_quota(true), 2, "min_ways floor holds");
+        run_interval(&mut duel, 4, 0);
+        assert_eq!(duel.side_quota(true), 3, "irregular pressure wins ways back");
+    }
+
+    #[test]
+    fn tiny_caches_degrade_gracefully() {
+        // A direct-mapped or 2-way L1 still produces sane quotas.
+        let duel = WayDuel::new(2, 1, 4);
+        assert_eq!(duel.side_quota(true) + duel.side_quota(false), 2);
+        let duel = WayDuel::new(1, 1, 4);
+        assert!(duel.side_quota(true) + duel.side_quota(false) <= 2);
+    }
+}

@@ -91,6 +91,7 @@ pub struct CacheSnapshot {
     rng: u64,
     shadow: Option<LruSet>,
     seen: PagedBits,
+    owner: Option<Box<[u8]>>,
 }
 
 /// A block evicted by a fill.
@@ -147,6 +148,9 @@ pub struct Cache {
     /// Blocks ever referenced (compulsory-miss detection).
     seen: PagedBits,
     rng: u64,
+    /// Per-line way-duel ownership tags (0 untagged, 1 regular,
+    /// 2 irregular), allocated lazily by [`Cache::fill_partitioned`].
+    owner: Option<Box<[u8]>>,
 }
 
 impl Cache {
@@ -182,6 +186,7 @@ impl Cache {
             shadow: classify.then(|| LruSet::new(cfg.num_lines() as usize)),
             seen: PagedBits::new(),
             rng: 0x9E37_79B9_7F4A_7C15,
+            owner: None,
         }
     }
 
@@ -315,6 +320,95 @@ impl Cache {
         evicted
     }
 
+    /// Allocates `block` on behalf of one way-duel side (`irregular` names
+    /// the side; see [`crate::WayDuel`]), keeping that side within
+    /// `max_ways` ways of the set: a side at its quota evicts the oldest of
+    /// its *own* lines, a side under quota takes the oldest line of the
+    /// *other* side. Quotas of 0 or ≥ associativity cannot bind and fall
+    /// back to the plain replacement policy. Victim age is the LRU/FIFO
+    /// stamp regardless of the configured policy (the partitioned path is
+    /// only engaged by the adaptive controller, whose caches are LRU).
+    pub fn fill_partitioned(
+        &mut self,
+        block: u64,
+        dirty: bool,
+        irregular: bool,
+        max_ways: u32,
+    ) -> Option<Eviction> {
+        if self.owner.is_none() {
+            self.owner = Some(vec![0u8; self.lines.len()].into_boxed_slice());
+        }
+        let side = u8::from(irregular) + 1;
+        if max_ways == 0 || max_ways as usize >= self.assoc {
+            let e = self.fill(block, dirty);
+            // Keep the tag fresh for when the quota binds again.
+            let base = self.set_index(block) * self.assoc;
+            if let Some(way) =
+                self.lines[base..base + self.assoc].iter().position(|l| l.valid && l.block == block)
+            {
+                self.owner.as_mut().expect("allocated above")[base + way] = side;
+            }
+            return e;
+        }
+        self.stamp += 1;
+        let si = self.set_index(block);
+        let base = si * self.assoc;
+        let stamp = self.stamp;
+        let is_lru = self.cfg.replacement == Replacement::Lru;
+        if let Some(way) =
+            self.lines[base..base + self.assoc].iter().position(|l| l.valid && l.block == block)
+        {
+            let line = &mut self.lines[base + way];
+            line.dirty |= dirty;
+            if is_lru {
+                line.stamp = stamp;
+            }
+            self.owner.as_mut().expect("allocated above")[base + way] = side;
+            return None;
+        }
+        let way = {
+            let set = &self.lines[base..base + self.assoc];
+            let own = &self.owner.as_ref().expect("allocated above")[base..base + self.assoc];
+            match set.iter().position(|l| !l.valid) {
+                Some(w) => w,
+                None => {
+                    let owned = set.iter().zip(own).filter(|(l, o)| l.valid && **o == side).count();
+                    let oldest = |of_side: Option<bool>| {
+                        set.iter()
+                            .zip(own)
+                            .enumerate()
+                            .filter(|(_, (l, o))| {
+                                l.valid && of_side.is_none_or(|want| (**o == side) == want)
+                            })
+                            .min_by_key(|(_, (l, _))| l.stamp)
+                            .map(|(w, _)| w)
+                    };
+                    if owned >= max_ways as usize {
+                        oldest(Some(true)).expect("side at quota owns at least one line")
+                    } else {
+                        // Under quota: grow into the other side's ways
+                        // (untagged lines count as the other side).
+                        oldest(Some(false)).or_else(|| oldest(None)).expect("set is full")
+                    }
+                }
+            }
+        };
+        let line = &mut self.lines[base + way];
+        let evicted = line.valid.then_some(Eviction { block: line.block, dirty: line.dirty });
+        if let Some(e) = evicted {
+            if e.dirty {
+                self.stats.writebacks += 1;
+            }
+        }
+        *line = Line { block, valid: true, dirty, stamp };
+        self.owner.as_mut().expect("allocated above")[base + way] = side;
+        self.mru[si] = way as u32;
+        if self.cfg.replacement == Replacement::Plru {
+            self.plru_touch(si, way);
+        }
+        evicted
+    }
+
     /// The block that a fill of `block` would evict, without filling.
     pub fn victim_for(&self, block: u64) -> Option<Eviction> {
         let si = self.set_index(block);
@@ -418,6 +512,7 @@ impl Cache {
             rng: self.rng,
             shadow: self.shadow.clone(),
             seen: self.seen.clone(),
+            owner: self.owner.clone(),
         }
     }
 
@@ -436,6 +531,7 @@ impl Cache {
         self.rng = snap.rng;
         self.shadow = snap.shadow.clone();
         self.seen = snap.seen.clone();
+        self.owner = snap.owner.clone();
     }
 }
 
@@ -668,6 +764,85 @@ mod tests {
             (s.accesses, s.hits, s.misses, s.compulsory, s.capacity, s.conflict, s.writebacks),
             (20000, 3232, 16768, 200, 15744, 824, 8442),
         );
+    }
+
+    #[test]
+    fn partitioned_fill_respects_quota_and_grows_under_it() {
+        // 1 set x 4 ways.
+        let mut c = Cache::new(CacheConfig {
+            size: 4 * 32,
+            assoc: 4,
+            block_size: 32,
+            replacement: Replacement::Lru,
+        });
+        // Regular side fills the whole set.
+        for b in 0..4 {
+            assert_eq!(c.fill_partitioned(b, false, false, 3), None);
+        }
+        // Irregular side under quota takes the regular side's oldest line.
+        let e = c.fill_partitioned(10, false, true, 2).unwrap();
+        assert_eq!(e.block, 0);
+        let e = c.fill_partitioned(11, false, true, 2).unwrap();
+        assert_eq!(e.block, 1);
+        // At quota (2 ways) the irregular side now recycles its own lines;
+        // the regular lines 2 and 3 survive.
+        let e = c.fill_partitioned(12, false, true, 2).unwrap();
+        assert_eq!(e.block, 10);
+        assert!(c.probe(2) && c.probe(3));
+    }
+
+    #[test]
+    fn partitioned_fill_with_unbinding_quota_matches_plain_lru() {
+        let mut a = tiny();
+        let mut b = tiny();
+        let mut state = 11u64;
+        for _ in 0..400 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let blk = (state >> 33) % 30;
+            let ea = a.fill(blk, state & 1 == 1);
+            let eb = b.fill_partitioned(blk, state & 1 == 1, state & 2 == 2, b.cfg.assoc);
+            assert_eq!(ea, eb, "unbinding quota must reduce to plain replacement");
+        }
+    }
+
+    #[test]
+    fn partitioned_refresh_retags_a_present_line() {
+        let mut c = Cache::new(CacheConfig {
+            size: 2 * 32,
+            assoc: 2,
+            block_size: 32,
+            replacement: Replacement::Lru,
+        });
+        assert_eq!(c.fill_partitioned(0, false, false, 1), None);
+        assert_eq!(c.fill_partitioned(1, false, false, 1), None);
+        assert_eq!(c.fill_partitioned(0, true, true, 1), None, "present: refresh, no eviction");
+        // Block 0 now belongs to the irregular side, so an irregular fill
+        // at quota 1 must evict it (not the untouched way).
+        let e = c.fill_partitioned(2, false, true, 1).unwrap();
+        assert_eq!((e.block, e.dirty), (0, true));
+    }
+
+    #[test]
+    fn snapshot_carries_partition_ownership() {
+        let mut warm = Cache::new(CacheConfig {
+            size: 4 * 32,
+            assoc: 4,
+            block_size: 32,
+            replacement: Replacement::Lru,
+        });
+        for b in 0..4 {
+            warm.fill_partitioned(b, false, b % 2 == 0, 2);
+        }
+        let mut restored = Cache::new(*warm.config());
+        restored.restore(&warm.snapshot());
+        for blk in [20, 21, 22] {
+            let irregular = blk % 2 == 0;
+            assert_eq!(
+                warm.fill_partitioned(blk, false, irregular, 2),
+                restored.fill_partitioned(blk, false, irregular, 2),
+                "ownership tags must survive snapshot/restore"
+            );
+        }
     }
 
     #[test]

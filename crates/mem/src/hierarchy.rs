@@ -9,8 +9,9 @@
 //! mechanism"), so stale training state persists across phases — the effect
 //! the selective scheme exploits.
 
+use crate::adapt::{AdaptController, AssistChoice, ControllerConfig, WayDuel};
 use crate::bypass::{BypassConfig, BypassEngine, FillDecision};
-use crate::cache::{Cache, CacheConfig, CacheSnapshot};
+use crate::cache::{Cache, CacheConfig, CacheSnapshot, Eviction};
 use crate::probe::{AssistEvent, CacheLevel, NullProbe, Probe, Site};
 use crate::stats::{AssistStats, HierarchyStats};
 use crate::tlb::{Tlb, TlbConfig, TlbSnapshot};
@@ -19,8 +20,8 @@ use selcache_ir::Addr;
 
 /// Checkpoint of the whole hierarchy's functional state: every cache's
 /// tag/replacement arrays, both TLBs, the assist structures (MAT/SLDT,
-/// bypass buffer, victim caches, stream buffers), and the run-time assist
-/// flag. Timing state (port/bus occupancy, open DRAM rows) and the
+/// bypass buffer, victim caches, stream buffers), the adaptive controller
+/// and way-duel state when attached, and the run-time assist flag. Timing state (port/bus occupancy, open DRAM rows) and the
 /// cache/TLB statistics counters are **not** captured: a restore starts
 /// from an idle memory system, and measurements across a restore take the
 /// post-restore [`MemoryHierarchy::stats`] as their baseline and difference
@@ -37,6 +38,8 @@ pub struct HierarchySnapshot {
     victim_l1: Option<VictimCache>,
     victim_l2: Option<VictimCache>,
     stream: Option<crate::stream::StreamBuffers>,
+    adapt: Option<AdaptController>,
+    duel: Option<WayDuel>,
     enabled: bool,
 }
 
@@ -101,6 +104,12 @@ pub struct HierarchyConfig {
     pub stream: crate::stream::StreamConfig,
     /// Enable three-C miss classification (costs some simulation speed).
     pub classify_misses: bool,
+    /// Online per-region assist controller. When set, both the bypass and
+    /// victim structures are built and the controller picks among
+    /// {off, bypass, victim} per region at run time (the [`AssistKind`]
+    /// field then only selects an additional static stream assist); when
+    /// `None`, assist selection is fully static.
+    pub controller: Option<ControllerConfig>,
 }
 
 impl HierarchyConfig {
@@ -128,6 +137,7 @@ impl HierarchyConfig {
             l2_victim_entries: 512,
             stream: crate::stream::StreamConfig::default(),
             classify_misses: true,
+            controller: None,
         }
     }
 }
@@ -145,6 +155,12 @@ pub struct MemoryHierarchy {
     victim_l1: Option<VictimCache>,
     victim_l2: Option<VictimCache>,
     stream: Option<crate::stream::StreamBuffers>,
+    adapt: Option<AdaptController>,
+    duel: Option<WayDuel>,
+    /// Assist policy resolved for the in-flight data access: `Some` only
+    /// while a controller is attached and the assist flag is on (`None` on
+    /// the static path and during instruction fetches).
+    cur_choice: Option<AssistChoice>,
     enabled: bool,
     assisted_accesses: u64,
     spatial_prefetches: u64,
@@ -167,13 +183,22 @@ impl MemoryHierarchy {
                 Cache::new(c)
             }
         };
-        let bypass = (cfg.assist == AssistKind::Bypass).then(|| BypassEngine::new(cfg.bypass));
-        let victim_l1 =
-            (cfg.assist == AssistKind::Victim).then(|| VictimCache::new(cfg.l1_victim_entries));
-        let victim_l2 =
-            (cfg.assist == AssistKind::Victim).then(|| VictimCache::new(cfg.l2_victim_entries));
+        // A controller arbitrates between bypassing and victim caching at
+        // run time, so it needs both structures built regardless of the
+        // static assist selection.
+        let dynamic = cfg.controller.is_some();
+        let bypass =
+            (cfg.assist == AssistKind::Bypass || dynamic).then(|| BypassEngine::new(cfg.bypass));
+        let victim_l1 = (cfg.assist == AssistKind::Victim || dynamic)
+            .then(|| VictimCache::new(cfg.l1_victim_entries));
+        let victim_l2 = (cfg.assist == AssistKind::Victim || dynamic)
+            .then(|| VictimCache::new(cfg.l2_victim_entries));
         let stream = (cfg.assist == AssistKind::Stream)
             .then(|| crate::stream::StreamBuffers::new(cfg.stream));
+        let adapt = cfg.controller.map(AdaptController::new);
+        let duel = cfg.controller.and_then(|ctl| {
+            ctl.way_partition.then(|| WayDuel::new(cfg.l1d.assoc, ctl.min_ways, ctl.duel_accesses))
+        });
         MemoryHierarchy {
             l1d: mk(cfg.l1d, cfg.classify_misses),
             l1i: mk(cfg.l1i, false),
@@ -184,6 +209,9 @@ impl MemoryHierarchy {
             victim_l1,
             victim_l2,
             stream,
+            adapt,
+            duel,
+            cur_choice: None,
             enabled: true,
             assisted_accesses: 0,
             spatial_prefetches: 0,
@@ -234,16 +262,73 @@ impl MemoryHierarchy {
         site: Site,
         probe: &mut P,
     ) -> u64 {
+        // Resolve the access's assist policy up front: the controller's
+        // current choice for the region when one is attached and the
+        // run-time flag is on, `None` (static gating) otherwise. While the
+        // flag is off a controller is frozen exactly like a static assist:
+        // no probes, no updates, no interval accounting.
+        self.cur_choice = match (&self.adapt, self.enabled) {
+            (Some(ctl), true) => Some(ctl.policy(site.region)),
+            _ => None,
+        };
+        let (latency, effective_miss) = self.data_access_inner(addr, write, now, site, probe);
+        if let Some(choice) = self.cur_choice {
+            let irregular = choice != AssistChoice::Off;
+            if let Some(ctl) = &mut self.adapt {
+                if let Some(d) = ctl.record_access(site.region, effective_miss) {
+                    probe.adapt_decision(site, d.choice, d.switched);
+                }
+            }
+            if let Some(duel) = &mut self.duel {
+                if let Some(ways) = duel.record(irregular, effective_miss) {
+                    probe.adapt_partition(ways);
+                }
+            }
+        }
+        latency
+    }
+
+    /// The data-access path proper; returns `(latency, effective_miss)`
+    /// where the flag is true when the access left the L1 level — missed
+    /// the L1 proper and was not served by an assist short path. That flag
+    /// is the controller's per-access feedback signal: assist hits count
+    /// as (near-)hits, so a trial's score reflects the latency the choice
+    /// actually delivers.
+    fn data_access_inner<P: Probe>(
+        &mut self,
+        addr: Addr,
+        write: bool,
+        now: u64,
+        site: Site,
+        probe: &mut P,
+    ) -> (u64, bool) {
         let tlb_lat = self.dtlb.access(addr);
         if tlb_lat > 0 {
             probe.tlb_miss(site, false);
         }
         let mut t = now + self.cfg.l1_latency + tlb_lat;
         let b1 = self.l1d.block_of(addr);
-        let active = self.assist_active();
-        if active {
+        let (use_bypass, use_victim, use_stream, observed) = match self.cur_choice {
+            Some(c) => (
+                c == AssistChoice::Bypass,
+                c == AssistChoice::Victim,
+                false,
+                c != AssistChoice::Off,
+            ),
+            None => {
+                let act = self.assist_active();
+                (act, act, act, act)
+            }
+        };
+        if observed {
             self.assisted_accesses += 1;
             probe.assist(site, addr, AssistEvent::Observed);
+        }
+        // The MAT/SLDT trains on every access the mechanism can see: all
+        // assisted accesses in the static scheme and — under a controller —
+        // every access while the flag is on, so a bypass trial starts from
+        // a trained table rather than a cold one.
+        if observed || self.cur_choice.is_some() {
             if let Some(engine) = &mut self.bypass {
                 engine.observe(addr);
             }
@@ -251,27 +336,31 @@ impl MemoryHierarchy {
         let lookup = self.l1d.access(b1, write);
         probe.cache_access(CacheLevel::L1d, site, addr, write, lookup);
         if lookup.is_hit() {
-            return t - now;
+            return (t - now, false);
         }
         // L1 miss: assist short paths (no L2 port traffic). A bypass-buffer
         // hit costs two extra cycles (miss detection + buffer access) — the
         // overhead that makes bypassing costlier than a victim swap.
-        if active {
+        if use_bypass {
             if let Some(engine) = &mut self.bypass {
                 if engine.probe_buffer(b1, write) {
                     probe.assist(site, addr, AssistEvent::BufferHit);
-                    return t + 2 - now;
+                    return (t + 2 - now, false);
                 }
             }
+        }
+        if use_victim {
             if let Some(victim) = &mut self.victim_l1 {
                 if let Some(dirty) = victim.probe_remove(b1) {
                     // Swap: block returns to L1, the displaced line moves to
                     // the victim cache.
                     probe.assist(site, addr, AssistEvent::L1VictimHit);
                     self.fill_l1_with_victim(b1, dirty || write, probe);
-                    return t + 1 - now;
+                    return (t + 1 - now, false);
                 }
             }
+        }
+        if use_stream {
             if let Some(stream) = &mut self.stream {
                 if stream.probe(b1).is_some() {
                     // Supplied by a stream buffer; the replacement prefetch
@@ -279,7 +368,7 @@ impl MemoryHierarchy {
                     probe.assist(site, addr, AssistEvent::StreamHit);
                     self.l2_busy_until = self.l2_busy_until.max(t) + self.cfg.l2_occupancy;
                     self.fill_l1(b1, write, probe);
-                    return t + 1 - now;
+                    return (t + 1 - now, false);
                 }
             }
         }
@@ -292,7 +381,7 @@ impl MemoryHierarchy {
         probe.cache_access(CacheLevel::L2, site, addr, false, l2_lookup);
         if !l2_lookup.is_hit() {
             let mut served = false;
-            if active {
+            if use_victim {
                 if let Some(victim) = &mut self.victim_l2 {
                     if let Some(dirty) = victim.probe_remove(b2) {
                         probe.assist(site, addr, AssistEvent::L2VictimHit);
@@ -306,7 +395,7 @@ impl MemoryHierarchy {
                 t = self.memory_access(addr, t);
                 // L2-level bypass ([8] manages both levels): cold regions
                 // skip the L2 fill entirely.
-                let skip_l2 = if active {
+                let skip_l2 = if use_bypass {
                     let victim =
                         self.l2.victim_for(b2).map(|e| Addr(e.block * self.cfg.l2.block_size));
                     self.bypass.as_mut().is_some_and(|engine| engine.decide_l2_bypass(addr, victim))
@@ -321,7 +410,7 @@ impl MemoryHierarchy {
             }
         }
         // L1 fill policy.
-        if active && self.bypass.is_some() {
+        if use_bypass && self.bypass.is_some() {
             let victim_addr =
                 self.l1d.victim_for(b1).map(|e| Addr(e.block * self.cfg.l1d.block_size));
             let engine = self.bypass.as_mut().expect("bypass engine present");
@@ -341,12 +430,12 @@ impl MemoryHierarchy {
                     }
                 }
             }
-        } else if active && self.victim_l1.is_some() {
+        } else if use_victim && self.victim_l1.is_some() {
             self.fill_l1_with_victim(b1, write, probe);
         } else {
             self.fill_l1(b1, write, probe);
         }
-        t - now
+        (t - now, true)
     }
 
     /// Performs an instruction fetch for the block containing `pc` at cycle
@@ -364,6 +453,10 @@ impl MemoryHierarchy {
         site: Site,
         probe: &mut P,
     ) -> u64 {
+        // Instruction fetches are never assist-managed by a controller;
+        // clear the per-access choice so fills they trigger use the static
+        // gating.
+        self.cur_choice = None;
         let addr = Addr(pc);
         let tlb_lat = self.itlb.access(addr);
         if tlb_lat > 0 {
@@ -426,12 +519,22 @@ impl MemoryHierarchy {
         self.fill_l2(b2, true, probe);
     }
 
+    /// Whether L2 evictions are captured by the L2 victim cache for the
+    /// current access: the static flag under static gating, the region's
+    /// choice under a controller.
+    fn victim_capture_on(&self) -> bool {
+        match self.cur_choice {
+            Some(c) => c == AssistChoice::Victim,
+            None => self.assist_active(),
+        }
+    }
+
     fn fill_l2<P: Probe>(&mut self, b2: u64, dirty: bool, probe: &mut P) {
         if let Some(ev) = self.l2.fill(b2, dirty) {
             if ev.dirty {
                 probe.writeback(CacheLevel::L2);
             }
-            if self.assist_active() {
+            if self.victim_capture_on() {
                 if let Some(victim) = &mut self.victim_l2 {
                     // Dirty overflow from the L2 victim cache goes to memory;
                     // no further state to update.
@@ -452,8 +555,22 @@ impl MemoryHierarchy {
         }
     }
 
+    /// L1d allocation: partition-aware under an active way duel (the line
+    /// is charged to the access's side and replacement stays inside that
+    /// side's quota), plain LRU/PLRU otherwise.
+    fn l1d_fill(&mut self, b1: u64, dirty: bool) -> Option<Eviction> {
+        match (&self.duel, self.cur_choice) {
+            (Some(duel), Some(choice)) => {
+                let irregular = choice != AssistChoice::Off;
+                let quota = duel.side_quota(irregular);
+                self.l1d.fill_partitioned(b1, dirty, irregular, quota)
+            }
+            _ => self.l1d.fill(b1, dirty),
+        }
+    }
+
     fn fill_l1<P: Probe>(&mut self, b1: u64, dirty: bool, probe: &mut P) {
-        if let Some(ev) = self.l1d.fill(b1, dirty) {
+        if let Some(ev) = self.l1d_fill(b1, dirty) {
             if ev.dirty {
                 probe.writeback(CacheLevel::L1d);
                 self.writeback_to_l2(ev.block, probe);
@@ -462,7 +579,7 @@ impl MemoryHierarchy {
     }
 
     fn fill_l1_with_victim<P: Probe>(&mut self, b1: u64, dirty: bool, probe: &mut P) {
-        if let Some(ev) = self.l1d.fill(b1, dirty) {
+        if let Some(ev) = self.l1d_fill(b1, dirty) {
             if ev.dirty {
                 probe.writeback(CacheLevel::L1d);
             }
@@ -511,6 +628,7 @@ impl MemoryHierarchy {
                 l2_victim_hits: self.victim_l2.as_ref().map_or(0, |v| v.hits()),
                 stream_hits: self.stream.as_ref().map_or(0, |s| s.hits()),
                 assisted_accesses: self.assisted_accesses,
+                adapt_switches: self.adapt.as_ref().map_or(0, |a| a.switches()),
             },
         }
     }
@@ -518,6 +636,16 @@ impl MemoryHierarchy {
     /// Read access to the bypass engine (for ablation studies).
     pub fn bypass_engine(&self) -> Option<&BypassEngine> {
         self.bypass.as_ref()
+    }
+
+    /// Read access to the adaptive controller (`None` for static runs).
+    pub fn adapt_controller(&self) -> Option<&AdaptController> {
+        self.adapt.as_ref()
+    }
+
+    /// Read access to the adaptive way duel (`None` when absent).
+    pub fn way_duel(&self) -> Option<&WayDuel> {
+        self.duel.as_ref()
     }
 
     /// Applies a data access *functionally*: cache, TLB, and assist state
@@ -559,6 +687,8 @@ impl MemoryHierarchy {
             victim_l1: self.victim_l1.clone(),
             victim_l2: self.victim_l2.clone(),
             stream: self.stream.clone(),
+            adapt: self.adapt.clone(),
+            duel: self.duel.clone(),
             enabled: self.enabled,
         }
     }
@@ -580,6 +710,9 @@ impl MemoryHierarchy {
         self.victim_l1 = snap.victim_l1.clone();
         self.victim_l2 = snap.victim_l2.clone();
         self.stream = snap.stream.clone();
+        self.adapt = snap.adapt.clone();
+        self.duel = snap.duel.clone();
+        self.cur_choice = None;
         self.enabled = snap.enabled;
         self.reset_timing();
     }
@@ -956,5 +1089,165 @@ mod tests {
             }
             assert_eq!(h.stats().since(&bh), clone_at_snap.stats().since(&bc), "{assist:?}");
         }
+    }
+
+    use selcache_ir::RegionId;
+
+    /// Base machine plus the online controller, with short intervals so
+    /// tests converge quickly.
+    fn dynamic_cfg() -> HierarchyConfig {
+        HierarchyConfig {
+            controller: Some(ControllerConfig {
+                interval_accesses: 64,
+                duel_accesses: 256,
+                ..ControllerConfig::default()
+            }),
+            ..HierarchyConfig::paper_base(AssistKind::None)
+        }
+    }
+
+    /// Five blocks cycling through one 4-way set: pure LRU thrashes (100%
+    /// miss), while a victim cache (or bypass buffer) catches every
+    /// eviction.
+    fn conflict_addr(i: u64) -> Addr {
+        Addr(0x1000_0000 + (i % 5) * 8192)
+    }
+
+    #[test]
+    fn controller_beats_assist_off_on_conflict_traffic() {
+        let mut dynamic = MemoryHierarchy::new(dynamic_cfg());
+        let mut plain = MemoryHierarchy::new(HierarchyConfig::paper_base(AssistKind::None));
+        let site = Site::new(0x400, RegionId(0));
+        let (mut td, mut tp) = (0u64, 0u64);
+        let mut now = 0;
+        for i in 0..40_000u64 {
+            now += 100;
+            td += dynamic.data_access_probed(conflict_addr(i), false, now, site, &mut NullProbe);
+            tp += plain.data_access_probed(conflict_addr(i), false, now, site, &mut NullProbe);
+        }
+        assert!(td < tp, "dynamic ({td}) should beat assist-off ({tp}) on conflict traffic");
+        let ctl = dynamic.adapt_controller().expect("controller attached");
+        assert_ne!(ctl.policy(RegionId(0)), AssistChoice::Off, "an assist should be locked in");
+        let s = dynamic.stats();
+        assert!(s.assist.adapt_switches > 0, "explore rotations are switches");
+        assert_eq!(s.assist.adapt_switches, ctl.switches());
+    }
+
+    #[test]
+    fn controller_frozen_while_assist_flag_is_off() {
+        let mut h = MemoryHierarchy::new(dynamic_cfg());
+        let site = Site::new(0x400, RegionId(1));
+        h.set_assist_enabled(false);
+        let mut now = 0;
+        for i in 0..10_000u64 {
+            now += 100;
+            h.data_access_probed(conflict_addr(i), false, now, site, &mut NullProbe);
+        }
+        let s = h.stats();
+        assert_eq!(s.assist.adapt_switches, 0, "controller must not act while off");
+        assert_eq!(s.assist.assisted_accesses, 0);
+        assert_eq!(s.assist.l1_victim_hits + s.assist.bypass_buffer_hits, 0);
+        assert_eq!(h.adapt_controller().unwrap().policy(RegionId(1)), AssistChoice::Off);
+        // Re-enabling thaws it: the controller resumes from its initial
+        // explore state and starts rotating candidates again.
+        h.set_assist_enabled(true);
+        for i in 0..10_000u64 {
+            now += 100;
+            h.data_access_probed(conflict_addr(i), false, now, site, &mut NullProbe);
+        }
+        assert!(h.stats().assist.adapt_switches > 0);
+    }
+
+    #[test]
+    fn dynamic_stats_probe_matches_component_counters() {
+        // The event-stream completeness invariant extends to the dynamic
+        // controller: adapt decisions and assist events replayed into a
+        // `HierarchyStatsProbe` reconstruct the counters byte-for-byte,
+        // including an assist-off window and multi-region traffic.
+        let mut h = MemoryHierarchy::new(dynamic_cfg());
+        let mut probe = crate::probe::HierarchyStatsProbe::new();
+        let mut now = 0;
+        for i in 0..6000u64 {
+            now += 50;
+            if i == 2500 {
+                h.set_assist_enabled(false);
+            }
+            if i == 3500 {
+                h.set_assist_enabled(true);
+            }
+            let site = Site::new(0x400 + i % 7, RegionId((i % 3) as u32));
+            h.data_access_probed(mixed_addr(i), i % 4 == 0, now, site, &mut probe);
+            if i % 3 == 0 {
+                h.inst_fetch_probed(0x40_0000 + (i % 64) * 64, now, site, &mut probe);
+            }
+        }
+        assert_eq!(probe.stats(), h.stats(), "event stream incomplete for the controller");
+    }
+
+    #[test]
+    fn dynamic_snapshot_restore_resumes_identically() {
+        // Controller and way-duel state are functional state: a restore
+        // must replay bit-identically, including policy decisions.
+        let mut h = MemoryHierarchy::new(dynamic_cfg());
+        let mut now = 0;
+        for i in 0..3000u64 {
+            now += 37;
+            let site = Site::new(0x400, RegionId((i % 3) as u32));
+            h.data_access_probed(mixed_addr(i), i % 4 == 0, now, site, &mut NullProbe);
+        }
+        let snap = h.snapshot();
+        let mut clone_at_snap = h.clone();
+        clone_at_snap.reset_timing();
+        for i in 5000..6000u64 {
+            now += 37;
+            h.data_access_probed(mixed_addr(i), false, now, Site::UNKNOWN, &mut NullProbe);
+        }
+        h.restore(&snap);
+        let (bh, bc) = (h.stats(), clone_at_snap.stats());
+        let mut t = 0;
+        for i in 3000..4000u64 {
+            t += 37;
+            let site = Site::new(0x400, RegionId((i % 3) as u32));
+            let a = h.data_access_probed(mixed_addr(i), i % 4 == 0, t, site, &mut NullProbe);
+            let b = clone_at_snap.data_access_probed(
+                mixed_addr(i),
+                i % 4 == 0,
+                t,
+                site,
+                &mut NullProbe,
+            );
+            assert_eq!(a, b, "latency diverged at op {i}");
+        }
+        assert_eq!(h.stats().since(&bh), clone_at_snap.stats().since(&bc));
+        assert_eq!(
+            h.adapt_controller().unwrap().policy(RegionId(0)),
+            clone_at_snap.adapt_controller().unwrap().policy(RegionId(0))
+        );
+        assert_eq!(
+            h.way_duel().map(|d| d.side_quota(true)),
+            clone_at_snap.way_duel().map(|d| d.side_quota(true))
+        );
+    }
+
+    #[test]
+    fn way_duel_rebalances_under_one_sided_pressure() {
+        // Pure streaming traffic misses identically under every assist, so
+        // the controller locks in Off (ties prefer it) and all pressure
+        // lands on the *regular* side — the duel should shift ways toward
+        // it, shrinking the irregular quota, and never break the assoc sum.
+        let mut h = MemoryHierarchy::new(dynamic_cfg());
+        let site = Site::new(0x400, RegionId(0));
+        let assoc = h.config().l1d.assoc;
+        let start = h.way_duel().unwrap().side_quota(true);
+        let mut now = 0;
+        for i in 0..40_000u64 {
+            now += 100;
+            // A wide streaming pattern that misses regardless of assist.
+            h.data_access_probed(Addr(0x2000_0000 + i * 64), false, now, site, &mut NullProbe);
+        }
+        let duel = h.way_duel().unwrap();
+        assert!(duel.adjustments() > 0, "one-sided pressure should move ways");
+        assert!(duel.side_quota(true) <= start);
+        assert_eq!(duel.side_quota(true) + duel.side_quota(false), assoc);
     }
 }

@@ -21,6 +21,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod adapt;
 mod bypass;
 mod cache;
 mod hierarchy;
@@ -34,6 +35,7 @@ mod table;
 mod tlb;
 mod victim;
 
+pub use adapt::{AdaptController, AssistChoice, ControllerConfig, Decision, WayDuel};
 pub use bypass::{BufferEviction, BypassConfig, BypassEngine, FillDecision};
 pub use cache::{Cache, CacheConfig, CacheSnapshot, Eviction, Lookup, Replacement};
 pub use hierarchy::{AssistKind, HierarchyConfig, HierarchySnapshot, MemoryHierarchy};

@@ -11,6 +11,7 @@
 //! event out to both halves, and `&mut P` forwards, so call sites can stack
 //! an always-on stats probe with a caller-supplied one.
 
+use crate::adapt::AssistChoice;
 use crate::cache::Lookup;
 use crate::stats::HierarchyStats;
 use selcache_ir::{Addr, OpKind, RegionId};
@@ -118,6 +119,17 @@ pub trait Probe {
     #[inline]
     fn assist_toggle(&mut self, site: Site, on: bool) {}
 
+    /// The adaptive controller reached an interval boundary for the
+    /// region of `site` and settled on `choice` (`switched` is true when
+    /// that changed the previously applied policy).
+    #[inline]
+    fn adapt_decision(&mut self, site: Site, choice: AssistChoice, switched: bool) {}
+
+    /// The adaptive way duel re-balanced the L1: the irregular side now
+    /// holds `irregular_ways` ways per set.
+    #[inline]
+    fn adapt_partition(&mut self, irregular_ways: u32) {}
+
     /// A branch mispredicted.
     #[inline]
     fn mispredict(&mut self, site: Site) {}
@@ -174,6 +186,14 @@ impl<P: Probe + ?Sized> Probe for &mut P {
     #[inline]
     fn assist_toggle(&mut self, site: Site, on: bool) {
         (**self).assist_toggle(site, on);
+    }
+    #[inline]
+    fn adapt_decision(&mut self, site: Site, choice: AssistChoice, switched: bool) {
+        (**self).adapt_decision(site, choice, switched);
+    }
+    #[inline]
+    fn adapt_partition(&mut self, irregular_ways: u32) {
+        (**self).adapt_partition(irregular_ways);
     }
     #[inline]
     fn mispredict(&mut self, site: Site) {
@@ -233,6 +253,16 @@ impl<A: Probe, B: Probe> Probe for (A, B) {
     fn assist_toggle(&mut self, site: Site, on: bool) {
         self.0.assist_toggle(site, on);
         self.1.assist_toggle(site, on);
+    }
+    #[inline]
+    fn adapt_decision(&mut self, site: Site, choice: AssistChoice, switched: bool) {
+        self.0.adapt_decision(site, choice, switched);
+        self.1.adapt_decision(site, choice, switched);
+    }
+    #[inline]
+    fn adapt_partition(&mut self, irregular_ways: u32) {
+        self.0.adapt_partition(irregular_ways);
+        self.1.adapt_partition(irregular_ways);
     }
     #[inline]
     fn mispredict(&mut self, site: Site) {
@@ -308,6 +338,10 @@ impl Probe for HierarchyStatsProbe {
         } else {
             self.stats.dtlb_misses += 1;
         }
+    }
+
+    fn adapt_decision(&mut self, _site: Site, _choice: AssistChoice, switched: bool) {
+        self.stats.assist.adapt_switches += u64::from(switched);
     }
 
     fn assist(&mut self, _site: Site, _addr: Addr, event: AssistEvent) {

@@ -113,6 +113,8 @@ pub struct AssistStats {
     pub stream_hits: u64,
     /// Accesses executed while the assist was enabled.
     pub assisted_accesses: u64,
+    /// Policy switches applied by the adaptive controller (0 for static runs).
+    pub adapt_switches: u64,
 }
 
 impl AssistStats {
@@ -127,6 +129,7 @@ impl AssistStats {
             l2_victim_hits: self.l2_victim_hits.saturating_sub(earlier.l2_victim_hits),
             stream_hits: self.stream_hits.saturating_sub(earlier.stream_hits),
             assisted_accesses: self.assisted_accesses.saturating_sub(earlier.assisted_accesses),
+            adapt_switches: self.adapt_switches.saturating_sub(earlier.adapt_switches),
         }
     }
 }
@@ -191,6 +194,7 @@ impl HierarchyStats {
         self.assist.l2_victim_hits += s(other.assist.l2_victim_hits);
         self.assist.stream_hits += s(other.assist.stream_hits);
         self.assist.assisted_accesses += s(other.assist.assisted_accesses);
+        self.assist.adapt_switches += s(other.assist.adapt_switches);
     }
 }
 
