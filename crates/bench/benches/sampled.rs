@@ -1,0 +1,85 @@
+//! Sampled-simulation hot path: checkpoint restore, fast-forward, and
+//! interval fingerprint recording — the per-representative setup cost and
+//! the per-op profile-pass cost that bound how much intra-job parallelism
+//! can win.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use selcache_analysis::{IntervalConfig, IntervalProfiler};
+use selcache_ir::{Interp, Plan};
+use selcache_workloads::{Benchmark, Scale};
+
+/// Ops each restore is fast-forwarded by — the same order of magnitude as
+/// the sampled mode's default warmup window start offsets.
+const ADVANCE_OPS: u64 = 4096;
+
+fn bench_checkpoint(c: &mut Criterion) {
+    let mut g = c.benchmark_group("checkpoint");
+    g.sample_size(20);
+    // The group's throughput setting sticks until overwritten, so run the
+    // unit-less restores first, then the throughput-annotated forwards.
+    let fixtures: Vec<_> = [Benchmark::Vpenta, Benchmark::Li]
+        .into_iter()
+        .map(|bm| {
+            let program = bm.build(Scale::Tiny);
+            let plan = Plan::compile(&program);
+            (bm, program, plan)
+        })
+        .collect();
+    for (bm, program, plan) in &fixtures {
+        // Checkpoint mid-trace, where the interpreter state is non-trivial.
+        let mut source = Interp::with_plan(program, plan);
+        let _ = source.advance(ADVANCE_OPS);
+        let ckpt = source.checkpoint();
+        // Restore alone: what every representative pays before warmup.
+        let mut interp = Interp::with_plan(program, plan);
+        g.bench_function(format!("{}/restore", bm.name()), |b| {
+            b.iter(|| {
+                interp.restore(black_box(&ckpt));
+            });
+        });
+    }
+    for (bm, program, plan) in &fixtures {
+        let ckpt = Interp::with_plan(program, plan).checkpoint();
+        let mut interp = Interp::with_plan(program, plan);
+        // Restore + fast-forward: reaching a warmup window that starts
+        // ADVANCE_OPS past the nearest retained checkpoint.
+        g.throughput(Throughput::Elements(ADVANCE_OPS));
+        g.bench_function(format!("{}/restore_advance", bm.name()), |b| {
+            b.iter(|| {
+                interp.restore(&ckpt);
+                black_box(interp.advance(ADVANCE_OPS))
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_fingerprint(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fingerprint");
+    g.sample_size(20);
+    for bm in [Benchmark::Vpenta, Benchmark::Li] {
+        let program = bm.build(Scale::Tiny);
+        let plan = Plan::compile(&program);
+        // Pre-collect the trace so iterations time only the profiler.
+        let ops: Vec<(u64, _)> =
+            Interp::with_plan(&program, &plan).map(|op| (op.pc, op.kind.addr())).collect();
+        g.throughput(Throughput::Elements(ops.len() as u64));
+        g.bench_function(format!("{}/record", bm.name()), |b| {
+            b.iter(|| {
+                let mut profiler = IntervalProfiler::new(IntervalConfig {
+                    interval_ops: 1 << 17,
+                    max_intervals: 6,
+                    ..IntervalConfig::default()
+                });
+                for &(pc, addr) in &ops {
+                    profiler.record(pc, addr);
+                }
+                profiler.finish().len()
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_checkpoint, bench_fingerprint);
+criterion_main!(benches);

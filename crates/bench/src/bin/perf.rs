@@ -29,6 +29,13 @@
 //! reports the speedup plus the worst-case CPI and L1-miss-rate error of
 //! the weighted extrapolation.
 //!
+//! A `sampled_parallel` cell reruns the same sampled pair through the
+//! intra-job executor fan-out at `max(--threads, 4)` threads, asserts the
+//! reconstruction is bit-identical to the serial sampled run, and records
+//! the wall-clock speedup both against the cold serial cell above and
+//! against a warm serial rerun (isolating the fan-out win from the shared
+//! profile-pass win).
+//!
 //! A `dynamic_adapt` cell times one run under the online assist controller
 //! (every region ON, the controller picking {off, bypass, victim} at run
 //! time), so controller overhead in the simulator hot path is tracked by
@@ -333,6 +340,41 @@ fn main() {
         max_l1_err_pts,
     );
 
+    // Parallel-sampled cell: the same sampled job pair driven through the
+    // intra-job executor fan-out at >= 4 threads. The selection cache is
+    // warm from the cell above, so a warm serial rerun is timed alongside
+    // as the profile-free reference; the reported speedups separate the
+    // shared-profile win (vs the cold serial cell, the number the
+    // acceptance gate tracks) from the pure fan-out win (vs warm serial).
+    // Reconstruction must be bit-identical, so the accuracy columns of the
+    // sampled cell carry over unchanged — asserted here, not assumed.
+    let parallel_threads = engine.threads().max(4);
+    let parallel_engine = JobEngine::new(parallel_threads);
+    let mut warm_serial_secs = f64::INFINITY;
+    let mut parallel_secs = f64::INFINITY;
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        let warm = serial.run(&sampled_jobs);
+        warm_serial_secs = warm_serial_secs.min(t0.elapsed().as_secs_f64());
+        assert_eq!(warm, sampled_results, "warm serial rerun must be bit-identical");
+        let t0 = Instant::now();
+        let par = parallel_engine.run(&sampled_jobs);
+        parallel_secs = parallel_secs.min(t0.elapsed().as_secs_f64());
+        assert_eq!(par, sampled_results, "parallel sampled run must be bit-identical");
+    }
+    let parallel_speedup = if parallel_secs > 0.0 { sampled_secs / parallel_secs } else { 0.0 };
+    let parallel_speedup_warm =
+        if parallel_secs > 0.0 { warm_serial_secs / parallel_secs } else { 0.0 };
+    eprintln!(
+        "  sampled_parallel ({} threads)  warm serial {:.0} ms, parallel {:.0} ms \
+         ({:.1}x vs serial cell, {:.1}x vs warm serial)",
+        parallel_threads,
+        warm_serial_secs * 1e3,
+        parallel_secs * 1e3,
+        parallel_speedup,
+        parallel_speedup_warm,
+    );
+
     // Dynamic-controller cell: one selective run with the adapt controller
     // attached, serial, best of REPS — tracks the controller's overhead in
     // the simulator hot path alongside the static cells.
@@ -415,6 +457,20 @@ fn main() {
             ]),
         ),
         (
+            "sampled_parallel",
+            Json::obj([
+                ("benchmark", Json::str(SAMPLED_BENCH.name())),
+                ("scale", Json::str(SAMPLED_SCALE.to_string())),
+                ("threads", Json::UInt(parallel_threads as u64)),
+                ("warm_serial_ms", Json::Num(warm_serial_secs * 1e3)),
+                ("parallel_ms", Json::Num(parallel_secs * 1e3)),
+                ("speedup_vs_serial", Json::Num(parallel_speedup)),
+                ("speedup_vs_warm_serial", Json::Num(parallel_speedup_warm)),
+                ("max_cpi_err_pct", Json::Num(max_cpi_err_pct)),
+                ("max_l1_miss_err_pts", Json::Num(max_l1_err_pts)),
+            ]),
+        ),
+        (
             "dynamic_adapt",
             Json::obj([
                 ("benchmark", Json::str(DYNAMIC_BENCH.name())),
@@ -484,6 +540,12 @@ enum Gate {
 /// geometric mean of current/baseline ratios over cells present in both,
 /// with the analytical sweep grid's points/sec and the dynamic-controller
 /// cell's ops/sec included as extra cells when the baseline carries them.
+///
+/// Cells present in only one of the two artifacts are *skipped with a
+/// printed notice*, never compared and never fatal: a newly introduced
+/// cell has no baseline on its first artifact (and a tiny-subset run
+/// legitimately lacks most of a full baseline), and neither situation is a
+/// regression.
 fn gate(
     cells: &[Cell],
     sweep_points_per_sec: f64,
@@ -501,11 +563,14 @@ fn gate(
     let Some(rows) = doc.get("benchmarks").and_then(Json::as_arr) else {
         return Gate::Skipped("baseline has no benchmarks array".to_string());
     };
+    let row_key = |row: &Json| {
+        let name = row.get("name")?.as_str()?;
+        let version = row.get("version")?.as_str()?;
+        Some(format!("{name}/{version}"))
+    };
     let baseline_rate = |key: &str| {
         rows.iter().find_map(|row| {
-            let name = row.get("name")?.as_str()?;
-            let version = row.get("version")?.as_str()?;
-            if format!("{name}/{version}") == key {
+            if row_key(row)? == key {
                 row.get("ops_per_sec")?.as_f64()
             } else {
                 None
@@ -515,11 +580,19 @@ fn gate(
     let mut log_sum = 0.0;
     let mut n = 0usize;
     for cell in cells {
-        let Some(base) = baseline_rate(&cell.key()) else { continue };
+        let Some(base) = baseline_rate(&cell.key()) else {
+            eprintln!("perf: gate: cell {} has no baseline entry; skipped", cell.key());
+            continue;
+        };
         let cur = cell.ops_per_sec();
         if base > 0.0 && cur > 0.0 {
             log_sum += (cur / base).ln();
             n += 1;
+        }
+    }
+    for key in rows.iter().filter_map(row_key) {
+        if !cells.iter().any(|c| c.key() == key) {
+            eprintln!("perf: gate: baseline cell {key} not in this run; skipped");
         }
     }
     let extra_cells = [
@@ -528,11 +601,13 @@ fn gate(
     ];
     for (cell, rate_key, cur) in extra_cells {
         let base = doc.get(cell).and_then(|g| g.get(rate_key)).and_then(Json::as_f64);
-        if let Some(base) = base {
-            if base > 0.0 && cur > 0.0 {
+        match base {
+            Some(base) if base > 0.0 && cur > 0.0 => {
                 log_sum += (cur / base).ln();
                 n += 1;
             }
+            Some(_) => {}
+            None => eprintln!("perf: gate: cell {cell} has no baseline entry; skipped"),
         }
     }
     if n == 0 {

@@ -12,7 +12,7 @@
 //! | request | response lines |
 //! |---|---|
 //! | `{"op":"ping"}` | `{"ok":true,"kind":"pong"}` |
-//! | `{"op":"stats"}` | `{"ok":true,"kind":"stats",...}` server-lifetime totals |
+//! | `{"op":"stats"}` | `{"ok":true,"kind":"stats",...}` server-lifetime totals, plus the engine's `threads` budget and the current `in_flight_jobs` count (pool saturation) |
 //! | `{"op":"store-stats"}` | `{"ok":true,"kind":"store-stats",...}` entry/byte counts of the backing store |
 //! | `{"op":"gc"}` | `{"ok":true,"kind":"gc",...}` reclaims corrupt/stale store entries; optional `"max_age_secs"` also drops entries older than the cutoff |
 //! | `{"op":"shutdown"}` | `{"ok":true,"kind":"bye"}`, then the server drains and exits |
@@ -67,7 +67,7 @@ use selcache_core::{
 use std::io::{self, Read, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
@@ -124,10 +124,13 @@ impl Totals {
 }
 
 /// Shared server state: the engine (itself freely shareable — its store
-/// writes are atomic) plus the lifetime totals.
+/// writes are atomic), the lifetime totals, and the number of jobs
+/// currently inside [`JobEngine::run`] across all connections (the pool-
+/// saturation signal `stats` reports next to the thread budget).
 struct ServerState {
     engine: JobEngine,
     totals: Mutex<Totals>,
+    in_flight: AtomicU64,
 }
 
 /// A bound `selcached` listener; [`Server::run`] serves until shutdown.
@@ -148,7 +151,11 @@ impl Server {
         }
         let listener = UnixListener::bind(path)?;
         listener.set_nonblocking(true)?;
-        let state = Arc::new(ServerState { engine, totals: Mutex::new(Totals::default()) });
+        let state = Arc::new(ServerState {
+            engine,
+            totals: Mutex::new(Totals::default()),
+            in_flight: AtomicU64::new(0),
+        });
         Ok(Server { listener, path: path.to_path_buf(), state })
     }
 
@@ -333,11 +340,13 @@ fn serve_run(req: &Json, state: &ServerState, out: &mut UnixStream) -> io::Resul
             Err(msg) => return write_line(out, &error_json(&format!("jobs[{i}]: {msg}"))),
         }
     }
+    state.in_flight.fetch_add(jobs.len() as u64, Ordering::AcqRel);
     let (results, stats) = if profiled {
         state.engine.run_profiled_with_stats(&jobs)
     } else {
         state.engine.run_with_stats(&jobs)
     };
+    state.in_flight.fetch_sub(jobs.len() as u64, Ordering::AcqRel);
     state.totals.lock().expect("totals lock").absorb(&stats);
     for (i, r) in results.iter().enumerate() {
         write_line(out, &result_json(i, &jobs[i], r))?;
@@ -407,6 +416,7 @@ fn stats_json(state: &ServerState, totals: &Totals) -> Json {
         ("store_misses", Json::UInt(totals.store_misses)),
         ("bytes_written", Json::UInt(totals.bytes_written)),
         ("threads", Json::UInt(state.engine.threads() as u64)),
+        ("in_flight_jobs", Json::UInt(state.in_flight.load(Ordering::Acquire))),
         ("store", store),
     ])
 }

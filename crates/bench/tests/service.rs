@@ -147,6 +147,10 @@ fn concurrent_clients_share_one_store() {
     assert_eq!(uint(s, "executed"), 3);
     assert!(uint(s, "bytes_written") > 0);
     assert!(s.get("store").and_then(Json::as_str).is_some(), "stats names the store root");
+    // Pool-saturation fields: the engine's thread budget and the jobs
+    // currently inside the engine (none, from an idle stats connection).
+    assert_eq!(uint(s, "threads"), 2);
+    assert_eq!(uint(s, "in_flight_jobs"), 0, "no run in flight during stats: {s}");
 
     // Graceful shutdown over the wire: server thread exits, socket is gone.
     let bye = request(&sock, r#"{"op":"shutdown"}"#);

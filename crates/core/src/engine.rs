@@ -14,10 +14,12 @@
 //! 2. **Prepare once.** Each distinct `(benchmark, scale, preparation,
 //!    opt-config)` program is built and compiled exactly once, shared by
 //!    all jobs that execute it.
-//! 3. **Execute in parallel.** Unique jobs run on a self-scheduling
-//!    `std::thread` pool (workers claim the next unstarted job from a
-//!    shared queue, so long simulations never serialize behind short
-//!    ones). `threads == 1` runs inline with no pool at all.
+//! 3. **Execute in parallel.** Unique jobs run on the engine's shared
+//!    [`Executor`](crate::Executor) budget (self-scheduling workers claim
+//!    the next unstarted job, so long simulations never serialize behind
+//!    short ones). Sampled jobs fan their representative intervals out
+//!    over the *same* budget — one global thread cap covers both levels.
+//!    `threads == 1` runs inline with no pool at all.
 //! 4. **Reassemble deterministically.** Results come back in submission
 //!    order. Every simulation is itself deterministic, so output is
 //!    bit-identical for every thread count.
@@ -38,6 +40,7 @@
 //! ```
 
 use crate::config::MachineConfig;
+use crate::executor::Executor;
 use crate::identity::{Canon, CanonWriter, JobId};
 use crate::runner::{default_opt, simulate, simulate_profiled, SimResult, Version};
 use crate::sampled::{simulate_sampled, SimMode};
@@ -47,10 +50,6 @@ use selcache_ir::Program;
 use selcache_mem::{AssistKind, ControllerConfig};
 use selcache_workloads::{Benchmark, Scale};
 use std::collections::HashMap;
-use std::num::NonZeroUsize;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
-use std::thread;
 use std::time::Instant;
 
 /// One simulation request: a program source, the machine it runs on, the
@@ -415,26 +414,51 @@ pub struct EngineStats {
     pub threads: usize,
 }
 
-/// Executes [`SimJob`] sets with deduplication on a fixed-size thread pool,
-/// optionally backed by a persistent [`Store`].
+/// Executes [`SimJob`] sets with deduplication on a shared-budget
+/// [`Executor`], optionally backed by a persistent [`Store`].
 ///
 /// Results are returned in submission order and are bit-identical for
 /// every thread count and any store state (each simulation is
 /// deterministic, jobs share no mutable state, and stored results echo
 /// the simulation that produced them exactly).
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// The engine's thread budget is *global*: job-level fan-out and the
+/// interval-level fan-out inside each [`SimMode::Sampled`] job lease
+/// workers from the same pool, so a single sampled job spreads its
+/// representative intervals across every configured thread while a full
+/// suite parallelizes across jobs first and lets long sampled jobs steal
+/// workers their finished siblings release.
+#[derive(Debug, Clone)]
 pub struct JobEngine {
-    threads: usize,
+    executor: Executor,
     store: Option<Store>,
 }
 
+impl PartialEq for JobEngine {
+    /// Engines compare by configuration (thread budget and store), not by
+    /// pool identity — two `JobEngine::new(4)` instances are equal even
+    /// though they lease from distinct budgets.
+    fn eq(&self, other: &JobEngine) -> bool {
+        self.threads() == other.threads() && self.store == other.store
+    }
+}
+
+impl Eq for JobEngine {}
+
 impl JobEngine {
-    /// An engine with `threads` workers. `threads == 1` executes inline on
-    /// the calling thread (exactly the historical serial behavior);
-    /// `threads == 0` is promoted to [`JobEngine::default_parallelism`].
+    /// An engine with a thread budget of `threads`. `threads == 1` executes
+    /// inline on the calling thread (exactly the historical serial
+    /// behavior); `threads == 0` is promoted to
+    /// [`JobEngine::default_parallelism`].
     pub fn new(threads: usize) -> JobEngine {
-        let threads = if threads == 0 { Self::default_parallelism() } else { threads };
-        JobEngine { threads, store: None }
+        JobEngine { executor: Executor::new(threads), store: None }
+    }
+
+    /// An engine running on an existing [`Executor`], sharing its thread
+    /// budget with whatever else uses that executor (other engines, direct
+    /// [`Experiment`](crate::Experiment) runs) instead of adding a pool.
+    pub fn with_executor(executor: Executor) -> JobEngine {
+        JobEngine { executor, store: None }
     }
 
     /// An engine backed by a persistent result store: unique identities
@@ -454,17 +478,24 @@ impl JobEngine {
 
     /// A single-threaded engine.
     pub fn serial() -> JobEngine {
-        JobEngine { threads: 1, store: None }
+        JobEngine { executor: Executor::serial(), store: None }
     }
 
     /// The machine's available parallelism (1 if it cannot be queried).
     pub fn default_parallelism() -> usize {
-        thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+        Executor::default_parallelism()
     }
 
-    /// The configured worker count.
+    /// The configured thread budget.
     pub fn threads(&self) -> usize {
-        self.threads
+        self.executor.threads()
+    }
+
+    /// The engine's executor — the shared thread budget every fan-out in
+    /// this engine (jobs, program preparation, sampled intervals) leases
+    /// workers from. Clone it to make other work share the same budget.
+    pub fn executor(&self) -> &Executor {
+        &self.executor
     }
 
     /// Runs a job set; `results[k]` answers `jobs[k]`.
@@ -504,7 +535,7 @@ impl JobEngine {
             executed: plan.unique.len(),
             dedup_hits: jobs.len() - plan.unique.len(),
             programs_prepared: plan.prog_keys.len(),
-            threads: self.threads,
+            threads: self.threads(),
             ..EngineStats::default()
         }
     }
@@ -546,15 +577,17 @@ impl JobEngine {
             prog_needed[prog_of[k]] = true;
         }
         let to_build: Vec<usize> = (0..prog_keys.len()).filter(|&p| prog_needed[p]).collect();
-        let built = self.par_map(&to_build, |&p| prog_keys[p].build());
+        let built = self.executor.map(&to_build, |&p| prog_keys[p].build());
         let mut programs: Vec<Option<Program>> = (0..prog_keys.len()).map(|_| None).collect();
         for (&p, program) in to_build.iter().zip(built) {
             programs[p] = Some(program);
         }
 
         // Execute each store-missing unique job once, in parallel, timing
-        // every simulation for the store's envelope metadata.
-        let simulated = self.par_map(&needed, |&k| {
+        // every simulation for the store's envelope metadata. Sampled jobs
+        // receive the engine's executor so their per-representative
+        // fan-out leases from the same budget as the job-level fan-out.
+        let simulated = self.executor.map(&needed, |&k| {
             let key = &unique[k];
             let program = programs[prog_of[k]].as_ref().expect("prepared above");
             let start = Instant::now();
@@ -570,6 +603,7 @@ impl JobEngine {
                         max_intervals,
                         warmup,
                         Some(skey),
+                        &self.executor,
                     )
                 }
                 // Dynamic (controller-attached) jobs always run with the
@@ -628,48 +662,9 @@ impl JobEngine {
             store_hits,
             store_misses: if self.store.is_some() { executed } else { 0 },
             bytes_written,
-            threads: self.threads,
+            threads: self.threads(),
         };
         (slot.into_iter().map(|k| results[k].clone()).collect(), stats)
-    }
-
-    /// Applies `f` to every item, fanning out across the pool. Output order
-    /// matches input order regardless of completion order.
-    fn par_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
-    where
-        T: Sync,
-        R: Send,
-        F: Fn(&T) -> R + Sync,
-    {
-        let n = items.len();
-        let workers = self.threads.min(n);
-        if workers <= 1 {
-            return items.iter().map(f).collect();
-        }
-        let next = AtomicUsize::new(0);
-        let (tx, rx) = mpsc::channel::<(usize, R)>();
-        thread::scope(|scope| {
-            for _ in 0..workers {
-                let tx = tx.clone();
-                let next = &next;
-                let f = &f;
-                scope.spawn(move || loop {
-                    let k = next.fetch_add(1, Ordering::Relaxed);
-                    if k >= n {
-                        break;
-                    }
-                    if tx.send((k, f(&items[k]))).is_err() {
-                        break;
-                    }
-                });
-            }
-        });
-        drop(tx);
-        let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
-        for (k, r) in rx {
-            out[k] = Some(r);
-        }
-        out.into_iter().map(|r| r.expect("every job produced a result")).collect()
     }
 }
 

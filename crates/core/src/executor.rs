@@ -1,0 +1,258 @@
+//! A reusable self-scheduling executor with a shared thread budget.
+//!
+//! Every parallel surface in the framework has the same shape: a slice of
+//! independent work items, a pure function per item, and a result vector
+//! that must come back in *slot order* so output is bit-identical at every
+//! thread count. [`Executor::map`] is that shape, extracted from the
+//! [`JobEngine`](crate::JobEngine)'s original inline pool so job-level
+//! execution and interval-level sampled simulation can share it.
+//!
+//! # Budget sharing
+//!
+//! The executor is cheap to clone; clones share one *budget* — a global
+//! cap on worker threads leased across every concurrent [`Executor::map`]
+//! call. Callers always participate in their own map (a lease of zero
+//! degrades to inline execution, never deadlock), and each leased worker
+//! returns its permit the moment it runs out of work. Nested maps draw
+//! from the same pool:
+//!
+//! - **Single sampled job.** The job-level map has one item, so it leases
+//!   nothing; the interval-level map inside the job finds the whole budget
+//!   free and fans representatives out across every thread.
+//! - **Full suite.** The job-level map leases the budget first; inner
+//!   interval maps start inline. As jobs drain and their workers release
+//!   permits, still-running maps *steal* them — each participant re-leases
+//!   opportunistically after every item it finishes — so a long sampled
+//!   job inherits the pool its finished siblings vacated instead of the
+//!   two levels oversubscribing the machine.
+//!
+//! # Determinism
+//!
+//! Work item `k` is claimed by exactly one participant (a shared atomic
+//! cursor), computed by a caller-supplied `Fn(&T) -> R`, and written to
+//! slot `k` of the output. Which thread computes an item is racy; *what*
+//! it computes and *where* it lands are not, so `map` returns the same
+//! vector as `items.iter().map(f).collect()` for every thread count and
+//! every interleaving — the property the engine's thread-invariance tests
+//! pin end to end.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread;
+
+/// The shared lease pool: how many extra worker threads may exist beyond
+/// the callers themselves, across every map running on this budget.
+#[derive(Debug)]
+struct Budget {
+    /// Total thread budget, counting the calling thread.
+    threads: usize,
+    /// Worker threads currently leased by in-flight maps.
+    leased: AtomicUsize,
+}
+
+impl Budget {
+    /// Tries to lease up to `want` workers; returns how many were granted
+    /// (possibly zero). The cap is `threads - 1`: the calling thread always
+    /// works for free, so a budget of N yields at most N concurrent
+    /// threads per top-level caller.
+    fn lease(&self, want: usize) -> usize {
+        let cap = self.threads.saturating_sub(1);
+        let mut granted = 0;
+        let _ = self.leased.fetch_update(Ordering::AcqRel, Ordering::Acquire, |cur| {
+            granted = want.min(cap.saturating_sub(cur));
+            if granted == 0 {
+                None
+            } else {
+                Some(cur + granted)
+            }
+        });
+        granted
+    }
+
+    fn release(&self, n: usize) {
+        self.leased.fetch_sub(n, Ordering::AcqRel);
+    }
+}
+
+/// A handle to a shared thread budget (see the module-level docs above
+/// for the budget-sharing and determinism arguments).
+///
+/// Clones share the budget, so handing a clone (or a reference) to nested
+/// work keeps the whole process inside one global thread cap.
+#[derive(Debug, Clone)]
+pub struct Executor {
+    budget: Arc<Budget>,
+}
+
+impl Executor {
+    /// An executor with a budget of `threads` (the calling thread plus up
+    /// to `threads - 1` leased workers). `threads == 0` is promoted to
+    /// [`Executor::default_parallelism`]; `threads == 1` makes every map
+    /// run inline on the caller, exactly the historical serial behavior.
+    pub fn new(threads: usize) -> Executor {
+        let threads = if threads == 0 { Self::default_parallelism() } else { threads };
+        Executor { budget: Arc::new(Budget { threads, leased: AtomicUsize::new(0) }) }
+    }
+
+    /// A strictly serial executor (budget of one).
+    pub fn serial() -> Executor {
+        Executor::new(1)
+    }
+
+    /// The machine's available parallelism (1 if it cannot be queried).
+    pub fn default_parallelism() -> usize {
+        thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+    }
+
+    /// The configured thread budget.
+    pub fn threads(&self) -> usize {
+        self.budget.threads
+    }
+
+    /// Worker threads currently leased from this budget (a point-in-time
+    /// observation; useful for saturation reporting, not for control flow).
+    pub fn leased(&self) -> usize {
+        self.budget.leased.load(Ordering::Acquire)
+    }
+
+    /// Applies `f` to every item, fanning out across leased workers, and
+    /// returns the results in item order regardless of completion order.
+    ///
+    /// The caller participates; workers are leased from the shared budget
+    /// up front and re-leased opportunistically after every caller-computed
+    /// item, so a map that started inline (budget exhausted by siblings)
+    /// picks up threads as they free. See the module docs for the
+    /// determinism argument.
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        let n = items.len();
+        if n <= 1 || self.budget.threads <= 1 {
+            return items.iter().map(f).collect();
+        }
+        // A zero grant is fine: the caller-participation loop below re-leases
+        // after every item, so a map that starts inline still picks up
+        // workers the moment sibling maps release them.
+        let initial = self.budget.lease(n - 1);
+        let next = AtomicUsize::new(0);
+        let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        let (tx, rx) = mpsc::channel::<(usize, R)>();
+        thread::scope(|scope| {
+            let budget = &*self.budget;
+            let next = &next;
+            let f = &f;
+            // A leased worker: claim indexed items until none remain, then
+            // return the permit so sibling maps can steal it.
+            let worker = |tx: mpsc::Sender<(usize, R)>| {
+                move || {
+                    loop {
+                        let k = next.fetch_add(1, Ordering::Relaxed);
+                        if k >= n || tx.send((k, f(&items[k]))).is_err() {
+                            break;
+                        }
+                    }
+                    budget.release(1);
+                }
+            };
+            for _ in 0..initial {
+                scope.spawn(worker(tx.clone()));
+            }
+            // The caller works too, growing the pool whenever budget frees
+            // up while unclaimed items remain.
+            loop {
+                let k = next.fetch_add(1, Ordering::Relaxed);
+                if k >= n {
+                    break;
+                }
+                out[k] = Some(f(&items[k]));
+                if next.load(Ordering::Relaxed) < n && budget.lease(1) == 1 {
+                    scope.spawn(worker(tx.clone()));
+                }
+            }
+            drop(tx);
+            for (k, r) in rx {
+                out[k] = Some(r);
+            }
+        });
+        out.into_iter().map(|r| r.expect("every item produced a result")).collect()
+    }
+}
+
+impl Default for Executor {
+    /// An executor sized to [`Executor::default_parallelism`].
+    fn default() -> Executor {
+        Executor::new(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn map_preserves_item_order() {
+        let items: Vec<u64> = (0..257).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for threads in [1, 2, 4, 16] {
+            let ex = Executor::new(threads);
+            assert_eq!(ex.map(&items, |&x| x * x), expect, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn map_handles_degenerate_inputs() {
+        let ex = Executor::new(4);
+        assert_eq!(ex.map(&[] as &[u32], |&x| x), Vec::<u32>::new());
+        assert_eq!(ex.map(&[7u32], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn zero_threads_promotes_to_available_parallelism() {
+        assert_eq!(Executor::new(0).threads(), Executor::default_parallelism());
+        assert_eq!(Executor::serial().threads(), 1);
+        assert!(Executor::default().threads() >= 1);
+    }
+
+    #[test]
+    fn nested_maps_share_one_budget() {
+        // An outer map over 4 items, each running an inner map over 8, on a
+        // budget of 3: total leased workers must never exceed 2 (budget
+        // minus the caller), no matter how the levels interleave.
+        let ex = Executor::new(3);
+        let peak = AtomicU64::new(0);
+        let outer: Vec<usize> = (0..4).collect();
+        let sums = ex.map(&outer, |&o| {
+            let inner: Vec<u64> = (0..8).map(|i| (o as u64) * 8 + i).collect();
+            let inner_sums = ex.map(&inner, |&x| {
+                let leased = ex.leased() as u64;
+                peak.fetch_max(leased, Ordering::Relaxed);
+                x
+            });
+            inner_sums.iter().sum::<u64>()
+        });
+        assert_eq!(sums.iter().sum::<u64>(), (0..32).sum());
+        assert!(peak.load(Ordering::Relaxed) <= 2, "leased beyond the budget");
+    }
+
+    #[test]
+    fn leases_drain_back_to_zero() {
+        let ex = Executor::new(8);
+        let items: Vec<u64> = (0..100).collect();
+        let total: u64 = ex.map(&items, |&x| x).iter().sum();
+        assert_eq!(total, 4950);
+        assert_eq!(ex.leased(), 0, "all permits must be returned");
+    }
+
+    #[test]
+    fn clones_share_the_budget() {
+        let a = Executor::new(5);
+        let b = a.clone();
+        assert_eq!(b.threads(), 5);
+        assert!(Arc::ptr_eq(&a.budget, &b.budget));
+    }
+}

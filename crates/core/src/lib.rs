@@ -60,6 +60,7 @@
 
 mod config;
 mod engine;
+mod executor;
 pub mod identity;
 pub mod json;
 mod profile;
@@ -71,6 +72,7 @@ mod sweep;
 
 pub use config::{ConfigVariant, MachineConfig};
 pub use engine::{EngineStats, JobEngine, SimJob};
+pub use executor::Executor;
 pub use identity::JobId;
 pub use profile::{RegionProfile, RegionProfileProbe, RegionStats};
 pub use report::{

@@ -4,6 +4,7 @@
 
 use crate::config::MachineConfig;
 use crate::engine::{selection_key, JobEngine};
+use crate::executor::Executor;
 use crate::profile::{RegionProfile, RegionProfileProbe};
 use crate::sampled::{simulate_sampled, SampledInfo, SimMode};
 use selcache_compiler::{optimize, region_partition, selective, selective_for, OptConfig};
@@ -245,7 +246,14 @@ impl ExperimentBuilder {
             machine.mem.controller = Some(ctl);
         }
         let opt = self.opt.unwrap_or_else(|| default_opt(&machine));
-        Experiment { machine, assist: self.assist, opt, threads: self.threads, mode: self.mode }
+        Experiment {
+            machine,
+            assist: self.assist,
+            opt,
+            threads: self.threads,
+            mode: self.mode,
+            executor: Executor::new(self.threads),
+        }
     }
 }
 
@@ -272,6 +280,7 @@ pub struct Experiment {
     opt: OptConfig,
     threads: usize,
     mode: SimMode,
+    executor: Executor,
 }
 
 impl Experiment {
@@ -310,9 +319,11 @@ impl Experiment {
         self.mode
     }
 
-    /// A [`JobEngine`] sized to this experiment's thread count.
+    /// A [`JobEngine`] sharing this experiment's thread budget: jobs run
+    /// through the engine and sampled intervals run through
+    /// [`Experiment::run`] lease workers from one pool.
     pub fn engine(&self) -> JobEngine {
-        JobEngine::new(self.threads)
+        JobEngine::with_executor(self.executor.clone())
     }
 
     /// Prepares the program a version executes (Section 4.4's software
@@ -381,6 +392,7 @@ impl Experiment {
                 max_intervals,
                 warmup,
                 key,
+                &self.executor,
             ),
         }
     }

@@ -37,6 +37,7 @@
 //! coincides (see [`selection`]'s cache).
 
 use crate::config::MachineConfig;
+use crate::executor::Executor;
 use crate::runner::SimResult;
 use selcache_analysis::{select, IntervalConfig, IntervalProfiler, Representative};
 use selcache_cpu::{CpuStats, Pipeline, Predictor};
@@ -225,9 +226,95 @@ fn add_scaled_cpu(dst: &mut CpuStats, src: &CpuStats, w: f64) {
     dst.issue_stall_cycles += s(src.issue_stall_cycles);
 }
 
+/// What one representative's detailed run measured, before weighting:
+/// integer counter deltas, so the parallel fan-out stays bit-exact.
+struct RepMeasure {
+    cpu: CpuStats,
+    mem: HierarchyStats,
+    rep_len: u64,
+    warm_ops: u64,
+}
+
+/// Restores, warms, and measures one representative interval — the
+/// independent unit the executor fans out. Everything it touches is
+/// per-call state (fresh interpreter, hierarchy, and predictor per
+/// representative), so representatives never share mutable state.
+#[allow(clippy::too_many_arguments)]
+fn measure_rep(
+    machine: &MachineConfig,
+    assist: AssistKind,
+    assist_enabled: bool,
+    program: &Program,
+    plan: &Plan,
+    sel: &Selection,
+    warmup: u64,
+    rep: &Representative,
+) -> RepMeasure {
+    let start = rep.interval as u64 * sel.interval_ops;
+    let rep_len = sel.interval_ops.min(sel.total_ops - start);
+    let warm_start = start.saturating_sub(warmup);
+
+    // Restore the nearest checkpoint at or before the warmup window
+    // and fast-forward to its start, tracking assist markers skipped.
+    let ckpt = sel
+        .checkpoints
+        .iter()
+        .take_while(|c| c.pos <= warm_start)
+        .last()
+        .expect("checkpoint 0 is always present");
+    let mut interp = Interp::with_plan(program, plan);
+    interp.restore(&ckpt.state);
+    let (_, skipped_marker) = interp.advance(warm_start - ckpt.pos);
+    let assist_state = skipped_marker.or(ckpt.assist).unwrap_or(assist_enabled);
+
+    // Functional warmup: caches, TLB, and predictor see every access
+    // of the warmup window, but no timing accumulates.
+    let mut hier_cfg = machine.mem.clone();
+    hier_cfg.assist = assist;
+    let mut mem = MemoryHierarchy::new(hier_cfg);
+    mem.set_assist_enabled(assist_state);
+    let mut predictor = Predictor::from_config(&machine.cpu);
+    let mut last_fetch_block = u64::MAX;
+    for _ in 0..start - warm_start {
+        let Some(op) = interp.next() else { break };
+        let fb = op.pc / machine.cpu.fetch_block;
+        if fb != last_fetch_block {
+            last_fetch_block = fb;
+            mem.warm_fetch(op.pc);
+        }
+        match op.kind {
+            OpKind::Load(a) => mem.warm_access(a, false),
+            OpKind::Store(a) => mem.warm_access(a, true),
+            OpKind::Branch { taken } => {
+                predictor.update(op.pc, taken);
+            }
+            OpKind::AssistOn => mem.set_assist_enabled(true),
+            OpKind::AssistOff => mem.set_assist_enabled(false),
+            OpKind::IntAlu | OpKind::FpAlu => {}
+        }
+    }
+
+    // Detailed measurement of the representative interval, isolated
+    // from warmup via timing reset and a stats baseline.
+    mem.reset_timing();
+    let baseline = mem.stats();
+    let stats = Pipeline::with_predictor(machine.cpu, predictor)
+        .run((&mut interp).take(rep_len as usize), &mut mem);
+    let mem_delta = mem.stats().since(&baseline);
+    RepMeasure { cpu: stats, mem: mem_delta, rep_len, warm_ops: start - warm_start }
+}
+
 /// Runs one prepared program in sampled mode. The drop-in sampled
 /// counterpart of [`crate::runner::simulate`]: same inputs plus the
-/// sampling parameters and an optional process-wide selection-cache key.
+/// sampling parameters, an optional process-wide selection-cache key, and
+/// the executor whose thread budget the per-representative fan-out leases
+/// workers from.
+///
+/// Each representative (checkpoint restore → functional warmup → detailed
+/// interval) is fully independent, so they run concurrently; the weighted
+/// reconstruction then folds the integer deltas in representative order,
+/// which keeps the floating-point accumulation order — and therefore the
+/// output — bit-identical to a serial run at every thread count.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn simulate_sampled(
     machine: &MachineConfig,
@@ -238,69 +325,26 @@ pub(crate) fn simulate_sampled(
     max_intervals: usize,
     warmup: u64,
     selection_key: Option<u128>,
+    executor: &Executor,
 ) -> SimResult {
     let plan = Plan::compile(program);
     let sel = selection(program, &plan, interval_ops, max_intervals, selection_key);
 
+    let measures = executor.map(&sel.reps, |rep| {
+        measure_rep(machine, assist, assist_enabled, program, &plan, &sel, warmup, rep)
+    });
+
+    // Slot-ordered reconstruction: identical accumulation order (and thus
+    // identical rounding) to the historical serial loop.
     let mut cpu = CpuStats::default();
     let mut mem_total = HierarchyStats::default();
     let mut detailed_ops = 0u64;
     let mut warmup_ops = 0u64;
-    for rep in &sel.reps {
-        let start = rep.interval as u64 * sel.interval_ops;
-        let rep_len = sel.interval_ops.min(sel.total_ops - start);
-        let warm_start = start.saturating_sub(warmup);
-
-        // Restore the nearest checkpoint at or before the warmup window
-        // and fast-forward to its start, tracking assist markers skipped.
-        let ckpt = sel
-            .checkpoints
-            .iter()
-            .take_while(|c| c.pos <= warm_start)
-            .last()
-            .expect("checkpoint 0 is always present");
-        let mut interp = Interp::with_plan(program, &plan);
-        interp.restore(&ckpt.state);
-        let (_, skipped_marker) = interp.advance(warm_start - ckpt.pos);
-        let assist_state = skipped_marker.or(ckpt.assist).unwrap_or(assist_enabled);
-
-        // Functional warmup: caches, TLB, and predictor see every access
-        // of the warmup window, but no timing accumulates.
-        let mut hier_cfg = machine.mem.clone();
-        hier_cfg.assist = assist;
-        let mut mem = MemoryHierarchy::new(hier_cfg);
-        mem.set_assist_enabled(assist_state);
-        let mut predictor = Predictor::from_config(&machine.cpu);
-        let mut last_fetch_block = u64::MAX;
-        for _ in 0..start - warm_start {
-            let Some(op) = interp.next() else { break };
-            let fb = op.pc / machine.cpu.fetch_block;
-            if fb != last_fetch_block {
-                last_fetch_block = fb;
-                mem.warm_fetch(op.pc);
-            }
-            match op.kind {
-                OpKind::Load(a) => mem.warm_access(a, false),
-                OpKind::Store(a) => mem.warm_access(a, true),
-                OpKind::Branch { taken } => {
-                    predictor.update(op.pc, taken);
-                }
-                OpKind::AssistOn => mem.set_assist_enabled(true),
-                OpKind::AssistOff => mem.set_assist_enabled(false),
-                OpKind::IntAlu | OpKind::FpAlu => {}
-            }
-        }
-        warmup_ops += start - warm_start;
-
-        // Detailed measurement of the representative interval, isolated
-        // from warmup via timing reset and a stats baseline.
-        mem.reset_timing();
-        let baseline = mem.stats();
-        let stats = Pipeline::with_predictor(machine.cpu, predictor)
-            .run((&mut interp).take(rep_len as usize), &mut mem);
-        add_scaled_cpu(&mut cpu, &stats, rep.weight);
-        mem_total.add_scaled(&mem.stats().since(&baseline), rep.weight);
-        detailed_ops += rep_len;
+    for (rep, m) in sel.reps.iter().zip(&measures) {
+        add_scaled_cpu(&mut cpu, &m.cpu, rep.weight);
+        mem_total.add_scaled(&m.mem, rep.weight);
+        detailed_ops += m.rep_len;
+        warmup_ops += m.warm_ops;
     }
 
     SimResult {
@@ -339,8 +383,17 @@ mod tests {
         // to the exact pipeline run and must agree bit-for-bit.
         let program = Benchmark::Adi.build(Scale::Tiny);
         let exact = simulate(&base(), AssistKind::None, true, &program);
-        let sampled =
-            simulate_sampled(&base(), AssistKind::None, true, &program, u64::MAX, 4, 1 << 16, None);
+        let sampled = simulate_sampled(
+            &base(),
+            AssistKind::None,
+            true,
+            &program,
+            u64::MAX,
+            4,
+            1 << 16,
+            None,
+            &Executor::serial(),
+        );
         assert_eq!(sampled.cycles, exact.cycles);
         assert_eq!(sampled.instructions, exact.instructions);
         assert_eq!(sampled.cpu, exact.cpu);
@@ -355,8 +408,10 @@ mod tests {
     #[test]
     fn sampled_is_deterministic_and_cache_transparent() {
         let program = Benchmark::Vpenta.build(Scale::Small);
-        let run =
-            |key| simulate_sampled(&base(), AssistKind::None, true, &program, 4096, 4, 1024, key);
+        let ex = Executor::new(4);
+        let run = |key| {
+            simulate_sampled(&base(), AssistKind::None, true, &program, 4096, 4, 1024, key, &ex)
+        };
         let fresh = run(None);
         let a = run(Some(0xfeed_beef));
         let b = run(Some(0xfeed_beef)); // answered from the cache
@@ -374,8 +429,17 @@ mod tests {
         // sampled_run example (wired into CI).
         let program = Benchmark::Vpenta.build(Scale::Medium);
         let exact = simulate(&base(), AssistKind::None, true, &program);
-        let sampled =
-            simulate_sampled(&base(), AssistKind::None, true, &program, 1 << 16, 6, 1 << 14, None);
+        let sampled = simulate_sampled(
+            &base(),
+            AssistKind::None,
+            true,
+            &program,
+            1 << 16,
+            6,
+            1 << 14,
+            None,
+            &Executor::new(4),
+        );
         assert_eq!(sampled.instructions, exact.instructions, "op counts are exact");
         let cpi = |r: &SimResult| r.cycles as f64 / r.instructions as f64;
         let cpi_err = (cpi(&sampled) - cpi(&exact)).abs() / cpi(&exact);
@@ -392,8 +456,17 @@ mod tests {
         let opt = crate::runner::default_opt(&base());
         let program = selcache_compiler::selective(&Benchmark::Chaos.build(Scale::Small), &opt);
         let exact = simulate(&base(), AssistKind::Bypass, false, &program);
-        let sampled =
-            simulate_sampled(&base(), AssistKind::Bypass, false, &program, 4096, 6, 2048, None);
+        let sampled = simulate_sampled(
+            &base(),
+            AssistKind::Bypass,
+            false,
+            &program,
+            4096,
+            6,
+            2048,
+            None,
+            &Executor::new(2),
+        );
         assert!(exact.cpu.assist_toggles > 0);
         assert!(sampled.cpu.assist_toggles > 0, "markers must survive sampling");
         let share = |r: &SimResult| {
@@ -405,6 +478,31 @@ mod tests {
             share(&sampled),
             share(&exact)
         );
+    }
+
+    #[test]
+    fn parallel_fanout_is_bit_identical_to_serial() {
+        // The executor only changes which thread measures a representative;
+        // the slot-ordered reconstruction makes the totals bit-identical.
+        let program = Benchmark::Vpenta.build(Scale::Small);
+        let run = |threads| {
+            simulate_sampled(
+                &base(),
+                AssistKind::None,
+                true,
+                &program,
+                4096,
+                4,
+                1024,
+                None,
+                &Executor::new(threads),
+            )
+        };
+        let serial = run(1);
+        assert!(serial.sampled.expect("sampled info").representatives > 1);
+        for threads in [2, 8] {
+            assert_eq!(run(threads), serial, "threads = {threads}");
+        }
     }
 
     #[test]

@@ -491,6 +491,17 @@ pub fn trace_len(program: &Program) -> u64 {
     Interp::new(program).count() as u64
 }
 
+// Parallel sampled simulation moves interpreters and checkpoints across
+// threads (one restore+warmup+measure per worker), so both must stay
+// Send + Sync. Assert it at compile time so a stray Rc/RefCell/raw
+// pointer in a future edit fails here, next to the types, rather than in
+// a distant executor call site.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<InterpCheckpoint>();
+    assert_send_sync::<Interp<'static>>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;
